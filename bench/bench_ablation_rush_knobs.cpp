@@ -1,0 +1,70 @@
+// Ablation of the RUSH design knobs called out in DESIGN.md §4:
+//   - skip placement: Front ("remains at the top", the prose reading of
+//     Algorithm 2) vs AfterFront ("push j after front", the pseudocode)
+//   - delaying on "little variation" in addition to "variation"
+//   - the skip threshold (10 in the paper)
+// Each variant runs the ADAA workload with paired seeds against the same
+// baseline.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+
+using namespace rush;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  sched::SkipPlacement placement = sched::SkipPlacement::Front;
+  bool delay_little = false;
+  int skip_threshold = 10;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::parse_options(argc, argv);
+  // Ablations are exploratory: default to 3 trials to keep runtime modest.
+  if (opts.trials == 5) opts.trials = 3;
+  bench::print_banner("Ablation", "RUSH knobs: skip placement, delay set, skip threshold", opts);
+
+  const core::Corpus corpus = bench::main_corpus(opts);
+  core::ExperimentSpec spec = core::experiment_spec(core::ExperimentId::ADAA);
+
+  const Variant variants[] = {
+      {"paper default (Front, strict, 10)"},
+      {"AfterFront placement", sched::SkipPlacement::AfterFront, false, 10},
+      {"delay on little variation too", sched::SkipPlacement::Front, true, 10},
+      {"skip threshold 3", sched::SkipPlacement::Front, false, 3},
+      {"skip threshold 30", sched::SkipPlacement::Front, false, 30},
+  };
+
+  Table table({"variant", "variation (fcfs)", "variation (rush)", "makespan delta", "skips"});
+  for (const Variant& v : variants) {
+    core::ExperimentConfig config;
+    config.trials_per_policy = opts.trials;
+    config.skip_placement = v.placement;
+    config.delay_on_little_variation = v.delay_little;
+    config.skip_threshold = v.skip_threshold;
+    core::ExperimentRunner runner(corpus, config);
+    const core::ExperimentResult result = runner.run(spec);
+
+    const double var_base =
+        core::mean_total_variation_runs(result.baseline, runner.labeler());
+    const double var_rush = core::mean_total_variation_runs(result.rush, runner.labeler());
+    double skips = 0.0;
+    for (const auto& trial : result.rush) skips += static_cast<double>(trial.total_skips);
+    skips /= static_cast<double>(result.rush.size());
+    const double delta =
+        core::mean_makespan(result.rush) - core::mean_makespan(result.baseline);
+    table.add_row({v.name, Table::num(var_base, 1), Table::num(var_rush, 1),
+                   Table::num(delta, 0) + " s", Table::num(skips, 0)});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Expected reading: placement barely matters (the queue is re-examined every\n"
+              "pass); delaying on 'little variation' trades waits for a bit more reduction;\n"
+              "a tiny skip threshold launches into congestion, a huge one stretches waits.\n\n");
+  return 0;
+}

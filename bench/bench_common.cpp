@@ -1,0 +1,78 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace rush::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_int = [&](long long fallback) {
+      return (i + 1 < argc) ? std::atoll(argv[++i]) : fallback;
+    };
+    if (std::strcmp(arg, "--seed") == 0) {
+      opts.seed = static_cast<std::uint64_t>(next_int(42));
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      opts.trials = static_cast<int>(next_int(5));
+    } else if (std::strcmp(arg, "--days") == 0) {
+      opts.days = static_cast<int>(next_int(16));
+    } else if (std::strcmp(arg, "--fresh") == 0) {
+      opts.fresh = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("options: --seed N --trials N --days N --fresh\n");
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+core::Corpus main_corpus(const BenchOptions& opts) {
+  core::CollectorConfig cfg;
+  cfg.days = opts.days;
+  cfg.seed = opts.seed;
+  core::LongitudinalCollector collector(cfg, core::single_pod_config());
+  const auto cache = core::default_corpus_cache("main_d" + std::to_string(opts.days) + "_s" +
+                                                std::to_string(opts.seed));
+  if (opts.fresh) std::filesystem::remove(cache);
+  std::printf("[bench] corpus: %s\n", cache.string().c_str());
+  core::Corpus corpus = collector.collect_or_load(cache);
+  std::printf("[bench] corpus samples: %zu over %zu apps\n", corpus.size(),
+              corpus.app_names().size());
+  return corpus;
+}
+
+core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus) {
+  core::ExperimentConfig config;
+  config.trials_per_policy = opts.trials;
+  // The experiment seed stays at its default so trial conditions are
+  // stable across collection-seed sweeps; --seed varies the corpus.
+  return core::ExperimentRunner(std::move(corpus), config);
+}
+
+core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunner& runner,
+                                  core::ExperimentId id) {
+  const core::ExperimentSpec spec = core::experiment_spec(id);
+  const auto cache = core::default_experiment_cache(spec.code + "_t" +
+                                                    std::to_string(opts.trials) + "_s" +
+                                                    std::to_string(opts.seed) + "_d" +
+                                                    std::to_string(opts.days));
+  if (opts.fresh) std::filesystem::remove(cache);
+  std::printf("[bench] experiment %s: %s\n", spec.code.c_str(), cache.string().c_str());
+  return core::run_or_load_experiment(runner, spec, cache);
+}
+
+void print_banner(const std::string& artifact, const std::string& description,
+                  const BenchOptions& opts) {
+  std::printf("================================================================\n");
+  std::printf("RUSH reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("seed=%llu trials/policy=%d collection-days=%d\n",
+              static_cast<unsigned long long>(opts.seed), opts.trials, opts.days);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rush::bench

@@ -1,0 +1,44 @@
+// Shared harness for the figure/table benches.
+//
+// Every bench accepts:
+//   --seed N     master seed (default 42)
+//   --trials N   trials per policy (default 5, as in the paper)
+//   --days N     collection campaign length (default 16)
+//   --fresh      ignore caches and recompute everything
+// Corpora and experiment results are cached as CSV in $RUSH_CACHE_DIR
+// (default: the working directory), so the benches share one collection
+// campaign and one run of each Table II experiment.
+#pragma once
+
+#include <string>
+
+#include "core/collector.hpp"
+#include "core/experiment.hpp"
+#include "core/result_io.hpp"
+
+namespace rush::bench {
+
+struct BenchOptions {
+  std::uint64_t seed = 42;
+  int trials = 5;
+  int days = 16;
+  bool fresh = false;
+};
+
+BenchOptions parse_options(int argc, char** argv);
+
+/// The standard collection campaign (cached under tag "main<days>").
+core::Corpus main_corpus(const BenchOptions& opts);
+
+/// Experiment runner over the main corpus with paper-default settings.
+core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus);
+
+/// Run (or load from cache) one Table II experiment.
+core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunner& runner,
+                                  core::ExperimentId id);
+
+/// Header line naming the bench and the paper artifact it regenerates.
+void print_banner(const std::string& artifact, const std::string& description,
+                  const BenchOptions& opts);
+
+}  // namespace rush::bench

@@ -1,0 +1,70 @@
+// Fig. 1: longitudinal run-time variation per proxy application, relative
+// to each application's minimum, with a mid-campaign congestion storm
+// (the paper's "mid-December" spike).
+//
+// Prints, per app and campaign day, max(run time) / min(overall run time),
+// and flags the storm window.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 1", "Longitudinal variation relative to per-app minimum run time",
+                      opts);
+
+  const core::Corpus corpus = bench::main_corpus(opts);
+  const auto apps = corpus.app_names();
+
+  // Per app: overall minimum and per-day maximum.
+  std::map<std::string, double> min_runtime;
+  std::map<std::string, std::map<int, double>> day_max;
+  int max_day = 0;
+  for (const auto& s : corpus.samples()) {
+    const int day = static_cast<int>(s.start_s / 86400.0);
+    max_day = std::max(max_day, day);
+    auto [it, inserted] = min_runtime.try_emplace(s.app, s.runtime_s);
+    if (!inserted) it->second = std::min(it->second, s.runtime_s);
+    auto& slot = day_max[s.app][day];
+    slot = std::max(slot, s.runtime_s);
+  }
+
+  // The default campaign places the storm at 62% of the campaign.
+  core::CollectorConfig collector_defaults;
+  const int storm_start = static_cast<int>(collector_defaults.storm_at_fraction *
+                                           static_cast<double>(opts.days));
+  const int storm_end = storm_start + static_cast<int>(collector_defaults.storm_days);
+
+  std::vector<std::string> header{"day"};
+  for (const auto& app : apps) header.push_back(app);
+  header.emplace_back("note");
+  Table table(header);
+  for (int day = 0; day <= max_day; ++day) {
+    std::vector<std::string> row{std::to_string(day)};
+    for (const auto& app : apps) {
+      const auto& per_day = day_max[app];
+      const auto it = per_day.find(day);
+      row.push_back(it == per_day.end() ? "-"
+                                        : Table::num(it->second / min_runtime[app], 2) + "x");
+    }
+    row.emplace_back(day >= storm_start && day < storm_end ? "<- storm" : "");
+    table.add_row(std::move(row));
+  }
+  std::printf("\nPer-day maximum run time relative to the app's overall minimum:\n%s\n",
+              table.render().c_str());
+
+  Table peaks({"app", "min (s)", "max (s)", "peak rel.", "mean rel."});
+  for (const auto& app : apps) {
+    const auto stats = corpus.stats_for(app);
+    peaks.add_row({app, Table::num(stats.min_s, 1), Table::num(stats.max_s, 1),
+                   Table::num(stats.max_s / stats.min_s, 2) + "x",
+                   Table::num(stats.mean_s / stats.min_s, 2) + "x"});
+  }
+  std::printf("Campaign summary (the paper observes peaks of 2-3x during the spike):\n%s\n",
+              peaks.render().c_str());
+  return 0;
+}

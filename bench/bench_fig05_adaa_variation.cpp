@@ -1,0 +1,38 @@
+// Fig. 5: number of runs with significant variation per application in
+// the ADAA experiment, FCFS+EASY vs RUSH. The paper's headline: totals
+// drop from ~17 to ~4 per trial, with the most variation-prone apps
+// (Laghos, LBANN) near zero under RUSH.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 5", "Runs with significant variation (z > 1.5 sigma), ADAA", opts);
+
+  core::ExperimentRunner runner = bench::make_runner(opts, bench::main_corpus(opts));
+  const auto result = bench::experiment(opts, runner, core::ExperimentId::ADAA);
+
+  const auto base = core::mean_variation_runs(result.baseline, runner.labeler());
+  const auto rush = core::mean_variation_runs(result.rush, runner.labeler());
+
+  Table table({"app", "FCFS+EASY", "RUSH", "reduction"});
+  for (const auto& [app, count] : base) {
+    const double r = rush.count(app) != 0 ? rush.at(app) : 0.0;
+    table.add_row({app, Table::num(count, 1), Table::num(r, 1), Table::num(count - r, 1)});
+  }
+  const double total_base = core::mean_total_variation_runs(result.baseline, runner.labeler());
+  const double total_rush = core::mean_total_variation_runs(result.rush, runner.labeler());
+  table.add_row({"TOTAL", Table::num(total_base, 1), Table::num(total_rush, 1),
+                 Table::num(total_base - total_rush, 1)});
+  std::printf("\nMean runs with variation per trial (of %d jobs):\n%s\n",
+              result.spec.num_jobs, table.render().c_str());
+  std::printf("paper shape: per-app 1.5-3.5 -> 0-1.5; total 17 -> 4.\n");
+  std::printf("measured: total %.1f -> %.1f (%.0f%% reduction)\n\n", total_base, total_rush,
+              100.0 * (total_base - total_rush) / total_base);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the ML library: fits and single-sample inference at
+// the corpus scale the pipeline actually uses (282 features).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/tree.hpp"
+
+namespace {
+
+using namespace rush;
+
+ml::Dataset synthetic(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < cols; ++f) names.push_back("f" + std::to_string(f));
+  ml::Dataset d(std::move(names));
+  std::vector<double> row(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double signal = 0.0;
+    for (std::size_t f = 0; f < cols; ++f) {
+      row[f] = rng.uniform(0.0, 1.0);
+      if (f < 8) signal += row[f];
+    }
+    d.add_row(row, signal > 4.4 ? 1 : 0);
+  }
+  return d;
+}
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto d = synthetic(static_cast<std::size_t>(state.range(0)), 282, 1);
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ExtraTreeFit(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 2);
+  ml::TreeConfig cfg;
+  cfg.random_thresholds = true;
+  cfg.max_features = 17;
+  for (auto _ : state) {
+    ml::DecisionTree tree(cfg);
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_ExtraTreeFit)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 3);
+  for (auto _ : state) {
+    ml::Forest forest(ml::decision_forest_config(static_cast<std::size_t>(state.range(0))));
+    forest.fit(d);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_AdaBoostFit(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 4);
+  ml::AdaBoostConfig cfg;
+  cfg.num_rounds = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::AdaBoost model(cfg);
+    model.fit(d);
+    benchmark::DoNotOptimize(model.stage_count());
+  }
+}
+BENCHMARK(BM_AdaBoostFit)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 5);
+  ml::Forest forest(ml::decision_forest_config(60));
+  forest.fit(d);
+  Rng rng(6);
+  std::vector<double> x(282);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.uniform(0.0, 1.0);
+    benchmark::DoNotOptimize(forest.predict(x));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_AdaBoostPredict(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 7);
+  ml::AdaBoost model;
+  model.fit(d);
+  Rng rng(8);
+  std::vector<double> x(282);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.uniform(0.0, 1.0);
+    benchmark::DoNotOptimize(model.predict(x));
+  }
+}
+BENCHMARK(BM_AdaBoostPredict);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const auto d = synthetic(static_cast<std::size_t>(state.range(0)), 282, 9);
+  ml::Knn knn;
+  knn.fit(d);
+  Rng rng(10);
+  std::vector<double> x(282);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.uniform(0.0, 1.0);
+    benchmark::DoNotOptimize(knn.predict(x));
+  }
+}
+BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(3000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Feature selection (paper §IV-A): recursive feature elimination on the
+// selected model, reporting the F1-vs-feature-count curve and which
+// counter families survive. The paper keeps "the set with the highest F1
+// score".
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "ml/rfe.hpp"
+#include "ml/serialize.hpp"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("Feature selection", "Recursive feature elimination on the 282 features",
+                      opts);
+
+  const core::Corpus corpus = bench::main_corpus(opts);
+  const core::Labeler labeler(corpus);
+  const ml::Dataset binary =
+      labeler.binary_dataset(corpus, telemetry::AggregationScope::AllNodes);
+
+  // Trees expose native importances; the paper runs RFE on those models.
+  const auto prototype = ml::make_classifier("decision_forest");
+  ml::RfeConfig cfg;
+  cfg.min_features = 12;
+  cfg.step_fraction = 0.25;
+  cfg.cv_folds = 4;
+  const ml::RfeResult result = ml::recursive_feature_elimination(*prototype, binary, cfg);
+
+  Table curve({"features kept", "CV F1"});
+  for (const auto& round : result.history)
+    curve.add_row({std::to_string(round.num_features), Table::num(round.cv_f1, 3)});
+  std::printf("\nElimination curve:\n%s\n", curve.render().c_str());
+  std::printf("best set: %zu features, F1 %.3f\n\n", result.selected.size(), result.best_f1);
+
+  // Which feature families survive?
+  const auto names = telemetry::FeatureAssembler::feature_names();
+  std::map<std::string, int> families;
+  for (const std::size_t f : result.selected) {
+    const std::string& name = names[f];
+    std::string family = "workload class";
+    if (name.find("sysclassib") != std::string::npos) family = "sysclassib";
+    else if (name.find("opa_info") != std::string::npos) family = "opa_info";
+    else if (name.find("lustre_client") != std::string::npos) family = "lustre_client";
+    else if (str::starts_with(name, "canary_")) family = "MPI canary";
+    ++families[family];
+  }
+  Table fam({"family", "selected features"});
+  for (const auto& [family, count] : families) fam.add_row({family, std::to_string(count)});
+  std::printf("Surviving feature families:\n%s\n", fam.render().c_str());
+  return 0;
+}

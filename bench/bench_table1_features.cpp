@@ -1,0 +1,38 @@
+// Table I: the dataset schema — input sources, counter counts, and
+// feature counts (282 total).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "telemetry/features.hpp"
+#include "telemetry/schema.hpp"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("Table I", "Input data sources and feature counts", opts);
+
+  using telemetry::CounterTable;
+  Table table({"Input source", "# Counters", "# Features", "Description"});
+  const auto add_counter_row = [&](const char* name, CounterTable t, const char* desc) {
+    const auto counters = telemetry::counters_in_table(t);
+    table.add_row({name, std::to_string(counters), std::to_string(3 * counters), desc});
+  };
+  add_counter_row("sysclassib", CounterTable::SysClassIb, "InfiniBand counters");
+  add_counter_row("opa_info", CounterTable::OpaInfo, "Omni-Path switch counters");
+  add_counter_row("lustre_client", CounterTable::LustreClient, "Lustre client metrics");
+  table.add_row({"MPI benchmarks", "3", "9", "Execution time"});
+  table.add_row({"Proxy applications", "-", "1", "Compute Intensive"});
+  table.add_row({"", "-", "1", "Network Intensive"});
+  table.add_row({"", "-", "1", "I/O Intensive"});
+  std::printf("\n%s\n", table.render().c_str());
+
+  const auto names = telemetry::FeatureAssembler::feature_names();
+  std::printf("Total features: %zu (paper: 282)\n", names.size());
+  std::printf("First counter feature: %s\n", names.front().c_str());
+  std::printf("First canary feature:  %s\n", names[270].c_str());
+  std::printf("One-hot class features: %s, %s, %s\n\n", names[279].c_str(), names[280].c_str(),
+              names[281].c_str());
+  return 0;
+}

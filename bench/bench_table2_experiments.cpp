@@ -1,0 +1,31 @@
+// Table II: the experiment definitions used to compare RUSH against the
+// FCFS+EASY baseline inside a 512-node reservation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("Table II", "Experiments run in the 512-node reservation", opts);
+
+  Table table({"Experiment", "Name", "Applications", "# of Jobs", "Description"});
+  for (const auto& spec : core::all_experiments()) {
+    const std::string apps = spec.run_apps.size() == 7 ? "All" : str::join(spec.run_apps, ", ");
+    table.add_row({spec.code, spec.name, apps, std::to_string(spec.num_jobs),
+                   spec.description});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  const core::ExperimentConfig defaults;
+  std::printf("Common setup (paper §VI-A): single 512-node pod; noise job on 1/%d of the\n"
+              "nodes sending variable all-to-all traffic; %.0f%% of the queue submitted at\n"
+              "t=0 and the rest uniformly over %.0f minutes; %d trials per policy;\n"
+              "16 nodes per job unless the experiment scales to {8,16,32}.\n\n",
+              defaults.noise_node_stride, 100.0 * defaults.initial_fraction,
+              defaults.submit_window_s / 60.0, defaults.trials_per_policy);
+  return 0;
+}

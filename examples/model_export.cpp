@@ -1,0 +1,66 @@
+// Model export / import: the paper's "pickled and exported for use in the
+// scheduler" step. A predictor trained in one process can be saved as a
+// text artifact and loaded by another (e.g., a live scheduler daemon).
+//
+// Build & run:  ./build/examples/model_export
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/collector.hpp"
+#include "core/pipeline.hpp"
+
+using namespace rush;
+
+int main() {
+  // Small in-situ collection.
+  core::CollectorConfig cfg;
+  cfg.days = 3;
+  cfg.jobs_per_session = 56;
+  cfg.seed = 11;
+  core::LongitudinalCollector collector(cfg, core::single_pod_config());
+  std::printf("collecting a 3-day corpus...\n");
+  const core::Corpus corpus = collector.collect();
+  const core::Labeler labeler(corpus);
+
+  // Compare the four model families like the paper's Fig. 3 pipeline,
+  // then train and export the winner.
+  std::printf("comparing model families (leave-one-app-out CV)...\n");
+  const auto scores = core::compare_models(corpus, labeler);
+  for (const auto& s : scores)
+    std::printf("  %-16s F1(all)=%.3f F1(job)=%.3f\n", s.model.c_str(), s.f1_all_nodes,
+                s.f1_job_nodes);
+  const std::string winner = core::best_model(scores);
+  std::printf("selected model: %s\n", winner.c_str());
+
+  core::TrainerConfig tc;
+  tc.model_name = winner;
+  const core::TrainedPredictor predictor = core::PredictorTrainer(tc).train(corpus, labeler);
+
+  const char* path = "rush_predictor.model";
+  {
+    std::ofstream out(path);
+    predictor.save(out);
+  }
+  std::printf("exported predictor to %s\n", path);
+
+  // Reload (as the scheduler process would) and verify agreement.
+  std::ifstream in(path);
+  const core::TrainedPredictor loaded = core::TrainedPredictor::load(in);
+  std::size_t agree = 0;
+  for (const auto& sample : corpus.samples()) {
+    const auto& features = loaded.scope() == telemetry::AggregationScope::AllNodes
+                               ? sample.features_all
+                               : sample.features_job;
+    if (loaded.predict(features) == predictor.predict(features)) ++agree;
+  }
+  std::printf("reloaded predictor agrees on %zu/%zu corpus samples\n", agree, corpus.size());
+
+  int fired = 0;
+  for (const auto& sample : corpus.samples()) {
+    if (loaded.predict(sample.features_all) == sched::VariabilityPrediction::Variation) ++fired;
+  }
+  std::printf("'variation' predictions on the corpus: %d (%0.1f%%)\n", fired,
+              100.0 * fired / static_cast<double>(corpus.size()));
+  return 0;
+}

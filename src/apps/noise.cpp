@@ -1,0 +1,57 @@
+#include "apps/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rush::apps {
+
+NoiseJob::NoiseJob(sim::Engine& engine, cluster::NetworkModel& net, cluster::NodeSet nodes,
+                   NoiseConfig config, Rng rng)
+    : engine_(engine), net_(net), nodes_(std::move(nodes)), config_(config), rng_(rng) {
+  RUSH_EXPECTS(nodes_.size() >= 2);
+  RUSH_EXPECTS(config_.rate_lo_gbps >= 0.0);
+  RUSH_EXPECTS(config_.rate_hi_gbps >= config_.rate_lo_gbps);
+  RUSH_EXPECTS(config_.change_period_s > 0.0);
+}
+
+NoiseJob::~NoiseJob() { stop(); }
+
+void NoiseJob::start() {
+  if (running_) return;
+  running_ = true;
+  rate_ = rng_.uniform(config_.rate_lo_gbps, config_.rate_hi_gbps);
+  net_.add_source(kSourceId, nodes_, rate_, cluster::TrafficPattern::AllToAll);
+  task_ = engine_.schedule_periodic(engine_.now() + config_.change_period_s,
+                                    config_.change_period_s, [this] { redraw(); });
+}
+
+void NoiseJob::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(task_);
+  net_.remove_source(kSourceId);
+}
+
+void NoiseJob::redraw() {
+  const sim::Time now = engine_.now();
+  const double span = config_.rate_hi_gbps - config_.rate_lo_gbps;
+  if (burst_until_ > 0.0 && now >= burst_until_) burst_until_ = 0.0;
+
+  if (burst_until_ <= 0.0 && rng_.bernoulli(config_.burst_start_probability)) {
+    const double sigma = 0.5;
+    const double mu = std::log(config_.burst_mean_duration_s) - sigma * sigma / 2.0;
+    burst_until_ = now + rng_.lognormal(mu, sigma);
+  }
+
+  if (burst_until_ > 0.0) {
+    // Sustained episode in the top quarter of the range.
+    rate_ = rng_.uniform(config_.rate_lo_gbps + 0.75 * span, config_.rate_hi_gbps);
+  } else {
+    // Calm: low half of the range.
+    rate_ = rng_.uniform(config_.rate_lo_gbps, config_.rate_lo_gbps + 0.5 * span);
+  }
+  net_.set_rate(kSourceId, rate_);
+}
+
+}  // namespace rush::apps

@@ -1,0 +1,25 @@
+#include "apps/profiler.hpp"
+
+#include <algorithm>
+
+namespace rush::apps {
+
+void Profiler::record(RunRecord rec) { records_.push_back(std::move(rec)); }
+
+std::vector<double> Profiler::durations_for(const std::string& app) const {
+  std::vector<double> out;
+  for (const RunRecord& r : records_)
+    if (r.app == app) out.push_back(r.duration_s);
+  return out;
+}
+
+std::vector<std::string> Profiler::apps_seen() const {
+  std::vector<std::string> out;
+  for (const RunRecord& r : records_)
+    if (std::find(out.begin(), out.end(), r.app) == out.end()) out.push_back(r.app);
+  return out;
+}
+
+void Profiler::clear() { records_.clear(); }
+
+}  // namespace rush::apps

@@ -1,0 +1,58 @@
+// Run records and their collection (the HPCToolkit/Hatchet stand-in).
+//
+// The paper profiles every control-job run and extracts the inclusive
+// time of the main compute region; here the execution model reports one
+// RunRecord per completed run and the Profiler accumulates them for
+// labeling and reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "cluster/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace rush::apps {
+
+struct RunRecord {
+  std::uint64_t run_id = 0;
+  std::string app;
+  telemetry::WorkloadClass workload = telemetry::WorkloadClass::Compute;
+  cluster::NodeSet nodes;
+  int node_count = 0;
+  ScalingMode scaling = ScalingMode::Strong;
+  sim::Time start_s = 0.0;
+  sim::Time end_s = 0.0;
+  double duration_s = 0.0;     // end - start (the measured "main region")
+  double uncontended_s = 0.0;  // channel total incl. intrinsic noise
+  double base_total_s = 0.0;   // channel total without noise
+
+  /// Contention-induced inflation over the ideal run.
+  [[nodiscard]] double slowdown() const noexcept {
+    return uncontended_s > 0.0 ? duration_s / uncontended_s : 1.0;
+  }
+};
+
+class Profiler {
+ public:
+  void record(RunRecord rec);
+
+  [[nodiscard]] const std::vector<RunRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
+
+  /// Durations of every run of one application, in record order.
+  [[nodiscard]] std::vector<double> durations_for(const std::string& app) const;
+
+  /// Distinct application names seen, in first-seen order.
+  [[nodiscard]] std::vector<std::string> apps_seen() const;
+
+  void clear();
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace rush::apps

@@ -1,0 +1,238 @@
+// rush — command-line front end for the RUSH pipeline.
+//
+//   rush collect  --out corpus.csv [--days N] [--seed N] [--jobs N]
+//   rush evaluate --corpus corpus.csv
+//   rush train    --corpus corpus.csv --out model.rush [--model NAME] [--rfe]
+//   rush inspect  --model model.rush
+//   rush simulate --corpus corpus.csv --experiment CODE [--trials N] [--seed N]
+//
+// `collect` runs the in-situ campaign; `evaluate` prints the Fig. 3 model
+// comparison; `train` exports the production predictor; `simulate` runs a
+// Table II experiment under FCFS+EASY and RUSH and prints the comparison.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/collector.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/swf.hpp"
+
+using namespace rush;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : str::to_int(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // flag
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::printf(
+      "rush — Resource Utilization aware Scheduler for HPC (IPDPS'22 reproduction)\n\n"
+      "commands:\n"
+      "  collect  --out corpus.csv [--days N] [--seed N] [--jobs N]\n"
+      "           run the in-situ data-collection campaign\n"
+      "  evaluate --corpus corpus.csv\n"
+      "           compare the four model families (leave-one-app-out CV)\n"
+      "  train    --corpus corpus.csv --out model.rush [--model NAME] [--rfe]\n"
+      "           train and export the production 3-class predictor\n"
+      "  inspect  --model model.rush\n"
+      "           print an exported predictor's metadata\n"
+      "  simulate --corpus corpus.csv --experiment ADAA|ADPA|PDPA|WS|SS\n"
+      "           [--trials N] [--seed N] [--swf-out PREFIX]\n"
+      "           run a Table II experiment (optionally exporting SWF traces)\n");
+  return 2;
+}
+
+core::Corpus load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw rush::ParseError("cannot open corpus: " + path);
+  return core::Corpus::from_csv(in);
+}
+
+int cmd_collect(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) return usage();
+  core::CollectorConfig cfg;
+  cfg.days = static_cast<int>(args.get_int("days", cfg.days));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.jobs_per_session = static_cast<int>(args.get_int("jobs", cfg.jobs_per_session));
+  std::printf("collecting %d days x %d jobs/session (seed %llu)...\n", cfg.days,
+              cfg.jobs_per_session, static_cast<unsigned long long>(cfg.seed));
+  core::LongitudinalCollector collector(cfg, core::single_pod_config());
+  const core::Corpus corpus = collector.collect();
+  std::ofstream os(out);
+  corpus.to_csv(os);
+  std::printf("wrote %zu samples to %s\n", corpus.size(), out.c_str());
+  for (const auto& stats : corpus.app_stats())
+    std::printf("  %-8s %4zu runs  mean %.1fs  sd %.1fs\n", stats.app.c_str(), stats.runs,
+                stats.mean_s, stats.stddev_s);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const std::string path = args.get("corpus");
+  if (path.empty()) return usage();
+  const core::Corpus corpus = load_corpus(path);
+  const core::Labeler labeler(corpus);
+  const auto scores = core::compare_models(corpus, labeler);
+  Table table({"model", "F1 (all nodes)", "F1 (job nodes)", "acc (all)", "acc (job)"});
+  for (const auto& s : scores)
+    table.add_row({s.model, Table::num(s.f1_all_nodes, 3), Table::num(s.f1_job_nodes, 3),
+                   Table::num(s.accuracy_all_nodes, 3), Table::num(s.accuracy_job_nodes, 3)});
+  std::printf("%s\nbest: %s\n", table.render().c_str(), core::best_model(scores).c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const std::string path = args.get("corpus");
+  const std::string out = args.get("out");
+  if (path.empty() || out.empty()) return usage();
+  const core::Corpus corpus = load_corpus(path);
+  const core::Labeler labeler(corpus);
+  core::TrainerConfig tc;
+  tc.model_name = args.get("model", "adaboost");
+  tc.run_rfe = args.has("rfe");
+  const core::TrainedPredictor predictor = core::PredictorTrainer(tc).train(corpus, labeler);
+  std::ofstream os(out);
+  predictor.save(os);
+  std::printf("trained %s on %zu samples", tc.model_name.c_str(), corpus.size());
+  if (tc.run_rfe) std::printf(" (RFE kept %zu features)", predictor.selected_features().size());
+  std::printf("; exported to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const std::string path = args.get("model");
+  if (path.empty()) return usage();
+  std::ifstream in(path);
+  if (!in) throw rush::ParseError("cannot open model: " + path);
+  const core::TrainedPredictor predictor = core::TrainedPredictor::load(in);
+  std::printf("model type:        %s\n", predictor.model().type_name().c_str());
+  std::printf("classes:           %d\n", predictor.model().num_classes());
+  std::printf("input features:    %zu of %zu%s\n",
+              predictor.selected_features().empty() ? telemetry::FeatureAssembler::kNumFeatures
+                                                    : predictor.selected_features().size(),
+              telemetry::FeatureAssembler::kNumFeatures,
+              predictor.selected_features().empty() ? " (no RFE)" : " (RFE)");
+  std::printf("aggregation scope: %s\n",
+              predictor.scope() == telemetry::AggregationScope::AllNodes ? "all nodes"
+                                                                         : "job nodes");
+  std::printf("label thresholds:  little > %.2f sigma, variation > %.2f sigma\n",
+              predictor.thresholds().little_sigma, predictor.thresholds().variation_sigma);
+  std::printf("confidence gate:   %.2f\n", predictor.variation_confidence());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string path = args.get("corpus");
+  const std::string code = args.get("experiment", "ADAA");
+  if (path.empty()) return usage();
+  std::optional<core::ExperimentSpec> spec;
+  for (const auto& candidate : core::all_experiments())
+    if (candidate.code == code) spec = candidate;
+  if (!spec) {
+    std::printf("unknown experiment '%s'\n", code.c_str());
+    return usage();
+  }
+  core::ExperimentConfig config;
+  config.trials_per_policy = static_cast<int>(args.get_int("trials", 3));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  core::ExperimentRunner runner(load_corpus(path), config);
+  std::printf("running %s (%d jobs, %d trials/policy)...\n", spec->code.c_str(), spec->num_jobs,
+              config.trials_per_policy);
+  const core::ExperimentResult result = runner.run(*spec);
+
+  Table table({"metric", "fcfs-easy", "rush"});
+  table.add_row({"variation runs / trial",
+                 Table::num(core::mean_total_variation_runs(result.baseline, runner.labeler()), 1),
+                 Table::num(core::mean_total_variation_runs(result.rush, runner.labeler()), 1)});
+  table.add_row({"makespan (s)", Table::num(core::mean_makespan(result.baseline), 0),
+                 Table::num(core::mean_makespan(result.rush), 0)});
+  double base_skips = 0.0, rush_skips = 0.0;
+  for (const auto& t : result.rush) rush_skips += static_cast<double>(t.total_skips);
+  rush_skips /= static_cast<double>(result.rush.size());
+  table.add_row({"Algorithm-2 delays / trial", Table::num(base_skips, 0),
+                 Table::num(rush_skips, 0)});
+  std::printf("\n%s\n", table.render().c_str());
+
+  Table apps({"app", "fcfs max (s)", "rush max (s)", "improvement"});
+  const auto base = core::runtime_summaries(result.baseline);
+  const auto rush = core::runtime_summaries(result.rush);
+  for (const auto& [app, improvement] :
+       core::max_runtime_improvement(result.baseline, result.rush)) {
+    apps.add_row({app, Table::num(base.at(app).max, 1), Table::num(rush.at(app).max, 1),
+                  Table::num(improvement, 1) + "%"});
+  }
+  std::printf("%s\n", apps.render().c_str());
+
+  // Optional: export every trial as a Standard Workload Format trace.
+  const std::string swf_prefix = args.get("swf-out");
+  if (!swf_prefix.empty()) {
+    auto dump = [&](const std::vector<core::TrialResult>& trials, const char* tag) {
+      for (std::size_t t = 0; t < trials.size(); ++t) {
+        const std::string file =
+            swf_prefix + "_" + tag + "_" + std::to_string(t) + ".swf";
+        std::ofstream os(file);
+        core::SwfOptions swf;
+        swf.comments = {"Experiment: " + spec->code};
+        core::write_swf(trials[t], os, swf);
+        std::printf("wrote %s\n", file.c_str());
+      }
+    };
+    dump(result.baseline, "fcfs");
+    dump(result.rush, "rush");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "collect") return cmd_collect(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "inspect") return cmd_inspect(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+#include "cluster/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rush::cluster {
+
+NodeAllocator::NodeAllocator(NodeSet managed) : managed_(std::move(managed)) {
+  RUSH_EXPECTS(!managed_.empty());
+  RUSH_EXPECTS(std::is_sorted(managed_.begin(), managed_.end()));
+  RUSH_EXPECTS(std::adjacent_find(managed_.begin(), managed_.end()) == managed_.end());
+  free_.assign(managed_.size(), true);
+  free_count_ = static_cast<int>(managed_.size());
+}
+
+std::optional<std::size_t> NodeAllocator::find_index(NodeId node) const noexcept {
+  const auto it = std::lower_bound(managed_.begin(), managed_.end(), node);
+  if (it == managed_.end() || *it != node) return std::nullopt;
+  return static_cast<std::size_t>(it - managed_.begin());
+}
+
+bool NodeAllocator::can_allocate(int count) const noexcept {
+  return count > 0 && count <= free_count_;
+}
+
+std::optional<NodeSet> NodeAllocator::allocate(int count) {
+  RUSH_EXPECTS(count > 0);
+  if (count > free_count_) return std::nullopt;
+  const auto need = static_cast<std::size_t>(count);
+
+  // First fit contiguous: a run of `count` consecutive free slots.
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i]) {
+      if (run_len == 0) run_start = i;
+      if (++run_len == need) {
+        NodeSet out;
+        out.reserve(need);
+        for (std::size_t j = run_start; j <= i; ++j) {
+          free_[j] = false;
+          out.push_back(managed_[j]);
+        }
+        free_count_ -= count;
+        return out;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+
+  // Fragmented fallback: lowest-indexed free slots.
+  NodeSet out;
+  out.reserve(need);
+  for (std::size_t i = 0; i < free_.size() && out.size() < need; ++i) {
+    if (free_[i]) {
+      free_[i] = false;
+      out.push_back(managed_[i]);
+    }
+  }
+  RUSH_ASSERT(out.size() == need);
+  free_count_ -= count;
+  return out;
+}
+
+void NodeAllocator::release(const NodeSet& nodes) {
+  for (NodeId n : nodes) {
+    const auto idx = find_index(n);
+    RUSH_EXPECTS(idx.has_value());
+    RUSH_EXPECTS(!free_[*idx]);
+    free_[*idx] = true;
+    ++free_count_;
+  }
+}
+
+bool NodeAllocator::is_free(NodeId node) const {
+  const auto idx = find_index(node);
+  RUSH_EXPECTS(idx.has_value());
+  return free_[*idx];
+}
+
+}  // namespace rush::cluster

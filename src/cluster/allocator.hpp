@@ -1,0 +1,43 @@
+// Node allocation over an arbitrary managed subset of the cluster.
+//
+// The scheduler asks for `k` nodes; the allocator prefers a contiguous run
+// (which tends to stay under few edge switches, like a locality-aware
+// resource matcher) and falls back to the lowest-indexed free nodes when
+// fragmentation prevents a contiguous placement.
+#pragma once
+
+#include <optional>
+
+#include "cluster/topology.hpp"
+
+namespace rush::cluster {
+
+class NodeAllocator {
+ public:
+  /// Manages exactly the nodes in `managed` (sorted, unique). This is how
+  /// the paper's 512-node single-pod reservation is expressed: construct
+  /// the allocator over `tree.nodes_in_pod(p)`.
+  explicit NodeAllocator(NodeSet managed);
+
+  /// All nodes of the given count, or nullopt if not enough are free.
+  [[nodiscard]] std::optional<NodeSet> allocate(int count);
+
+  /// Releases previously allocated nodes. It is an error to free a node
+  /// that is not currently allocated by this allocator.
+  void release(const NodeSet& nodes);
+
+  [[nodiscard]] bool can_allocate(int count) const noexcept;
+  [[nodiscard]] int free_count() const noexcept { return free_count_; }
+  [[nodiscard]] int managed_count() const noexcept { return static_cast<int>(managed_.size()); }
+  [[nodiscard]] bool is_free(NodeId node) const;
+  [[nodiscard]] const NodeSet& managed_nodes() const noexcept { return managed_; }
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> find_index(NodeId node) const noexcept;
+
+  NodeSet managed_;         // sorted
+  std::vector<bool> free_;  // parallel to managed_
+  int free_count_ = 0;
+};
+
+}  // namespace rush::cluster

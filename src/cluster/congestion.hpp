@@ -1,0 +1,30 @@
+// Shared congestion-delay curve.
+//
+// Real fabrics and filesystems degrade well before 100% utilization
+// (queueing delay, credit stalls, incast). The curve below is calibrated
+// so that
+//   u <= 0.4  ->  ~1.0x   (healthy)
+//   u  = 0.7  ->  ~1.2x
+//   u  = 0.9  ->  ~1.6x
+//   u  = 1.0  ->  ~1.95x
+//   u  > 1    ->  linear in u (throughput-limited regime)
+// which reproduces the 1x-3x run-time inflation range the paper observes
+// (Fig. 1). The function is monotone, so "max slowdown over links" equals
+// "slowdown of max utilization".
+#pragma once
+
+#include <cmath>
+
+namespace rush::cluster {
+
+inline double congestion_slowdown(double utilization) noexcept {
+  if (utilization <= 0.0) return 1.0;
+  constexpr double kA = 0.95;
+  constexpr double kB = 4.4;
+  if (utilization <= 1.0) return 1.0 + kA * std::pow(utilization, kB);
+  // Beyond saturation every flow gets capacity/load of its demand.
+  const double at_one = 1.0 + kA;
+  return at_one + 2.0 * (utilization - 1.0);
+}
+
+}  // namespace rush::cluster

@@ -1,0 +1,89 @@
+#include "cluster/lustre.hpp"
+
+#include <algorithm>
+
+#include "cluster/congestion.hpp"
+#include "common/error.hpp"
+
+namespace rush::cluster {
+
+LustreModel::LustreModel(double aggregate_gbps) : capacity_(aggregate_gbps) {
+  RUSH_EXPECTS(aggregate_gbps > 0.0);
+}
+
+void LustreModel::add_client(SourceId id, NodeSet nodes, double per_node_gbps,
+                             double read_fraction) {
+  RUSH_EXPECTS(!nodes.empty());
+  RUSH_EXPECTS(per_node_gbps >= 0.0);
+  RUSH_EXPECTS(read_fraction >= 0.0 && read_fraction <= 1.0);
+  RUSH_EXPECTS(!clients_.contains(id));
+  clients_.emplace(id, Client{std::move(nodes), per_node_gbps, read_fraction});
+  node_demand_dirty_ = true;
+  ++generation_;
+}
+
+void LustreModel::set_rate(SourceId id, double per_node_gbps) {
+  RUSH_EXPECTS(per_node_gbps >= 0.0);
+  auto it = clients_.find(id);
+  RUSH_EXPECTS(it != clients_.end());
+  if (it->second.per_node_gbps == per_node_gbps) return;
+  it->second.per_node_gbps = per_node_gbps;
+  node_demand_dirty_ = true;
+  ++generation_;
+}
+
+void LustreModel::remove_client(SourceId id) {
+  const auto erased = clients_.erase(id);
+  RUSH_EXPECTS(erased == 1);
+  node_demand_dirty_ = true;
+  ++generation_;
+}
+
+bool LustreModel::has_client(SourceId id) const noexcept { return clients_.contains(id); }
+
+void LustreModel::set_ambient_demand(double gbps) {
+  RUSH_EXPECTS(gbps >= 0.0);
+  if (ambient_ == gbps) return;
+  ambient_ = gbps;
+  ++generation_;
+}
+
+double LustreModel::total_demand_gbps() const noexcept {
+  double total = ambient_;
+  for (const auto& [id, c] : clients_)
+    total += c.per_node_gbps * static_cast<double>(c.nodes.size());
+  return total;
+}
+
+double LustreModel::slowdown() const noexcept {
+  return congestion_slowdown(total_demand_gbps() / capacity_);
+}
+
+void LustreModel::rebuild_node_demand() const {
+  node_read_.clear();
+  node_write_.clear();
+  for (const auto& [id, c] : clients_) {
+    for (NodeId n : c.nodes) {
+      node_read_[n] += c.per_node_gbps * c.read_fraction;
+      node_write_[n] += c.per_node_gbps * (1.0 - c.read_fraction);
+    }
+  }
+  node_demand_dirty_ = false;
+}
+
+double LustreModel::node_read_gbps(NodeId node) const {
+  if (node_demand_dirty_) rebuild_node_demand();
+  const auto it = node_read_.find(node);
+  if (it == node_read_.end()) return 0.0;
+  // Achieved rate: demanded rate divided by the oversubscription factor.
+  return it->second / slowdown();
+}
+
+double LustreModel::node_write_gbps(NodeId node) const {
+  if (node_demand_dirty_) rebuild_node_demand();
+  const auto it = node_write_.find(node);
+  if (it == node_write_.end()) return 0.0;
+  return it->second / slowdown();
+}
+
+}  // namespace rush::cluster

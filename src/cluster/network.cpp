@@ -1,0 +1,198 @@
+#include "cluster/network.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/congestion.hpp"
+#include "common/error.hpp"
+
+namespace rush::cluster {
+
+NetworkModel::NetworkModel(const FatTree& tree) : tree_(tree) {
+  ambient_.assign(static_cast<std::size_t>(tree_.num_links()), 0.0);
+  loads_.assign(ambient_.size(), 0.0);
+}
+
+void NetworkModel::mark_dirty() noexcept {
+  dirty_ = true;
+  ++generation_;
+}
+
+void NetworkModel::add_source(SourceId id, NodeSet nodes, double per_node_gbps,
+                              TrafficPattern pattern) {
+  RUSH_EXPECTS(valid_node_set(tree_, nodes));
+  RUSH_EXPECTS(per_node_gbps >= 0.0);
+  RUSH_EXPECTS(!sources_.contains(id));
+  sources_.emplace(id, TrafficSource{std::move(nodes), per_node_gbps, pattern});
+  mark_dirty();
+}
+
+void NetworkModel::set_rate(SourceId id, double per_node_gbps) {
+  RUSH_EXPECTS(per_node_gbps >= 0.0);
+  auto it = sources_.find(id);
+  RUSH_EXPECTS(it != sources_.end());
+  if (it->second.per_node_gbps == per_node_gbps) return;
+  it->second.per_node_gbps = per_node_gbps;
+  mark_dirty();
+}
+
+void NetworkModel::remove_source(SourceId id) {
+  const auto erased = sources_.erase(id);
+  RUSH_EXPECTS(erased == 1);
+  mark_dirty();
+}
+
+bool NetworkModel::has_source(SourceId id) const noexcept { return sources_.contains(id); }
+
+void NetworkModel::set_ambient_load(LinkId link, double gbps) {
+  RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
+  RUSH_EXPECTS(gbps >= 0.0);
+  if (ambient_[static_cast<std::size_t>(link)] == gbps) return;
+  ambient_[static_cast<std::size_t>(link)] = gbps;
+  mark_dirty();
+}
+
+void NetworkModel::map_flows(const TrafficSource& src, std::vector<LinkShare>& out) const {
+  const double r = src.per_node_gbps;
+  const auto n = src.nodes.size();
+  if (r <= 0.0) return;
+  if (n < 2 && src.pattern != TrafficPattern::Gateway) return;
+
+  // Every member pushes its full injection through its own access link.
+  for (NodeId u : src.nodes) out.push_back({tree_.node_link(u), r});
+
+  switch (src.pattern) {
+    case TrafficPattern::AllToAll: {
+      // Count members per edge switch and per pod; the fraction of a
+      // node's traffic leaving its edge (pod) is the fraction of peers
+      // outside it.
+      std::unordered_map<int, int> per_edge;
+      std::unordered_map<int, int> per_pod;
+      for (NodeId u : src.nodes) {
+        ++per_edge[tree_.edge_of(u)];
+        ++per_pod[tree_.pod_of(u)];
+      }
+      const double m = static_cast<double>(n - 1);
+      for (const auto& [edge, count] : per_edge) {
+        const double outside = static_cast<double>(n - static_cast<std::size_t>(count));
+        if (outside > 0.0)
+          out.push_back({tree_.edge_uplink(edge), static_cast<double>(count) * r * outside / m});
+      }
+      for (const auto& [pod, count] : per_pod) {
+        const double outside = static_cast<double>(n - static_cast<std::size_t>(count));
+        if (outside > 0.0)
+          out.push_back({tree_.pod_uplink(pod), static_cast<double>(count) * r * outside / m});
+      }
+      break;
+    }
+    case TrafficPattern::NearestNeighbor:
+    case TrafficPattern::Ring: {
+      // Each node splits its injection between its two neighbours in
+      // allocation order; only pairs that straddle an edge (pod) boundary
+      // load the respective uplinks.
+      auto add_pair = [&](NodeId u, NodeId v) {
+        const double half = r / 2.0;
+        const int eu = tree_.edge_of(u);
+        const int ev = tree_.edge_of(v);
+        if (eu != ev) {
+          out.push_back({tree_.edge_uplink(eu), half});
+          out.push_back({tree_.edge_uplink(ev), half});
+          const int pu = tree_.pod_of(u);
+          const int pv = tree_.pod_of(v);
+          if (pu != pv) {
+            out.push_back({tree_.pod_uplink(pu), half});
+            out.push_back({tree_.pod_uplink(pv), half});
+          }
+        }
+      };
+      for (std::size_t i = 0; i + 1 < n; ++i) add_pair(src.nodes[i], src.nodes[i + 1]);
+      if (src.pattern == TrafficPattern::Ring && n > 2) add_pair(src.nodes.back(), src.nodes.front());
+      break;
+    }
+    case TrafficPattern::Gateway: {
+      // Traffic leaves the pod entirely: each node loads its edge uplink
+      // and its pod uplink with its full injection.
+      std::unordered_map<int, double> per_edge;
+      std::unordered_map<int, double> per_pod;
+      for (NodeId u : src.nodes) {
+        per_edge[tree_.edge_of(u)] += r;
+        per_pod[tree_.pod_of(u)] += r;
+      }
+      for (const auto& [edge, load] : per_edge) out.push_back({tree_.edge_uplink(edge), load});
+      for (const auto& [pod, load] : per_pod) out.push_back({tree_.pod_uplink(pod), load});
+      break;
+    }
+  }
+}
+
+void NetworkModel::recompute() const {
+  loads_ = ambient_;
+  std::vector<LinkShare> shares;
+  for (const auto& [id, src] : sources_) {
+    shares.clear();
+    map_flows(src, shares);
+    for (const LinkShare& s : shares) loads_[static_cast<std::size_t>(s.link)] += s.gbps;
+  }
+  dirty_ = false;
+}
+
+double NetworkModel::worst_over_links(const std::vector<LinkShare>& shares,
+                                      const std::vector<double>& loads) const {
+  double worst_util = 0.0;
+  for (const LinkShare& s : shares) {
+    const double cap = tree_.link_capacity_gbps(s.link);
+    const double util = loads[static_cast<std::size_t>(s.link)] / cap;
+    worst_util = std::max(worst_util, util);
+  }
+  return congestion_slowdown(worst_util);
+}
+
+double NetworkModel::slowdown(SourceId id) const {
+  auto it = sources_.find(id);
+  RUSH_EXPECTS(it != sources_.end());
+  if (dirty_) recompute();
+  std::vector<LinkShare> shares;
+  map_flows(it->second, shares);
+  return worst_over_links(shares, loads_);
+}
+
+double NetworkModel::probe_slowdown(const NodeSet& nodes, double per_node_gbps,
+                                    TrafficPattern pattern) const {
+  RUSH_EXPECTS(valid_node_set(tree_, nodes));
+  if (dirty_) recompute();
+  TrafficSource probe{nodes, per_node_gbps, pattern};
+  std::vector<LinkShare> shares;
+  map_flows(probe, shares);
+  // The probe's own traffic must count toward the load it experiences:
+  // aggregate its per-link shares, then evaluate against loads + self.
+  std::unordered_map<LinkId, double> self;
+  for (const LinkShare& s : shares) self[s.link] += s.gbps;
+  double worst_util = 0.0;
+  for (const auto& [link, own] : self) {
+    const double cap = tree_.link_capacity_gbps(link);
+    const double util = (loads_[static_cast<std::size_t>(link)] + own) / cap;
+    worst_util = std::max(worst_util, util);
+  }
+  return congestion_slowdown(worst_util);
+}
+
+double NetworkModel::link_load_gbps(LinkId link) const {
+  RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
+  if (dirty_) recompute();
+  return loads_[static_cast<std::size_t>(link)];
+}
+
+double NetworkModel::link_utilization(LinkId link) const {
+  return link_load_gbps(link) / tree_.link_capacity_gbps(link);
+}
+
+double NetworkModel::node_xmit_gbps(NodeId node) const {
+  return link_load_gbps(tree_.node_link(node));
+}
+
+double NetworkModel::node_recv_gbps(NodeId node) const {
+  // Symmetric patterns: a node receives as much as it sends.
+  return link_load_gbps(tree_.node_link(node));
+}
+
+}  // namespace rush::cluster

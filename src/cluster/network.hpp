@@ -1,0 +1,101 @@
+// Flow-level network contention model over the fat-tree.
+//
+// Each traffic source (a job's communication phase, the noise job, or
+// ambient background traffic) injects a per-node rate with an all-to-all
+// pattern across its node set. Flows are mapped onto the three link
+// classes and per-link loads accumulated; a source's slowdown is the
+// worst oversubscription (load / capacity, clamped at 1) over any link
+// it traverses — the standard max-congestion approximation.
+//
+// Loads are recomputed lazily: mutations mark the model dirty and bump a
+// generation counter that observers (telemetry, job execution) can use to
+// invalidate caches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace rush::cluster {
+
+/// Communication pattern of a traffic source. The pattern decides how much
+/// of a node's injected traffic stays below its edge switch versus crossing
+/// uplinks.
+enum class TrafficPattern : std::uint8_t {
+  AllToAll,         // uniform all-to-all (SWFFT, noise job)
+  NearestNeighbor,  // halo exchange: traffic goes to adjacent allocated nodes
+  Ring,             // each node talks to two neighbours in allocation order
+  Gateway,          // node -> I/O gateway beyond the pod (Lustre traffic);
+                    // every node's traffic crosses its edge and pod uplinks
+};
+
+struct TrafficSource {
+  NodeSet nodes;
+  double per_node_gbps = 0.0;
+  TrafficPattern pattern = TrafficPattern::AllToAll;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const FatTree& tree);
+
+  /// Register a traffic source. `nodes` must be a valid node set; ids must
+  /// be unique among live sources.
+  void add_source(SourceId id, NodeSet nodes, double per_node_gbps,
+                  TrafficPattern pattern = TrafficPattern::AllToAll);
+  /// Change the injection rate of an existing source.
+  void set_rate(SourceId id, double per_node_gbps);
+  void remove_source(SourceId id);
+  [[nodiscard]] bool has_source(SourceId id) const noexcept;
+
+  /// Ambient load injected directly onto a link by traffic outside the
+  /// modeled jobs (system daemons, other users). Overwrites prior value.
+  void set_ambient_load(LinkId link, double gbps);
+
+  /// Worst oversubscription factor (>= 1) over links used by the source.
+  [[nodiscard]] double slowdown(SourceId id) const;
+
+  /// Slowdown a *hypothetical* source with this shape would see right now.
+  /// Used by the MPI canary benchmarks and by the scheduler when probing a
+  /// candidate allocation. Does not mutate the model.
+  [[nodiscard]] double probe_slowdown(const NodeSet& nodes, double per_node_gbps,
+                                      TrafficPattern pattern = TrafficPattern::AllToAll) const;
+
+  [[nodiscard]] double link_load_gbps(LinkId link) const;
+  [[nodiscard]] double link_utilization(LinkId link) const;
+
+  /// Traffic through a node's access link (its own injection + ambient),
+  /// feeding the sysclassib-style counters.
+  [[nodiscard]] double node_xmit_gbps(NodeId node) const;
+  [[nodiscard]] double node_recv_gbps(NodeId node) const;
+
+  /// Bumps on every mutation; observers use it to invalidate caches.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+  [[nodiscard]] const FatTree& tree() const noexcept { return tree_; }
+
+ private:
+  struct LinkShare {
+    LinkId link;
+    double gbps;
+  };
+
+  void mark_dirty() noexcept;
+  void recompute() const;
+  /// Maps one source's flows to per-link loads. Appends to `out`.
+  void map_flows(const TrafficSource& src, std::vector<LinkShare>& out) const;
+  [[nodiscard]] double worst_over_links(const std::vector<LinkShare>& shares,
+                                        const std::vector<double>& loads) const;
+
+  const FatTree& tree_;
+  std::unordered_map<SourceId, TrafficSource> sources_;
+  std::vector<double> ambient_;  // per-link ambient gbps
+  std::uint64_t generation_ = 0;
+
+  mutable bool dirty_ = true;
+  mutable std::vector<double> loads_;  // per-link total gbps
+};
+
+}  // namespace rush::cluster

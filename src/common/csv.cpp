@@ -1,0 +1,98 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace rush {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values, int precision) {
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, values[i]);
+    os_ << buf;
+  }
+  os_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // the next cell exists even if empty
+        break;
+      case '\n':
+        end_row();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV cell");
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace rush

@@ -1,0 +1,29 @@
+// Minimal CSV writing/reading used to persist datasets and experiment
+// results so external tooling (plotting scripts) can consume them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rush {
+
+/// Streams rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_numeric_row(const std::vector<double>& values, int precision = 9);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+/// Parses CSV text into rows of string cells. Handles quoted cells and
+/// embedded commas/newlines; throws ParseError on unterminated quotes.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace rush

@@ -1,0 +1,47 @@
+// Error handling primitives shared across the RUSH libraries.
+//
+// The library follows the C++ Core Guidelines: preconditions are checked
+// with RUSH_EXPECTS (throws on violation, so tests can assert on misuse)
+// and internal invariants with RUSH_ASSERT.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rush {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant does not hold (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed external input (serialized models, CSV, config).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failure(const char* expr, const char* file, int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line));
+}
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rush
+
+#define RUSH_EXPECTS(expr) \
+  ((expr) ? (void)0 : ::rush::detail::precondition_failure(#expr, __FILE__, __LINE__))
+#define RUSH_ASSERT(expr) \
+  ((expr) ? (void)0 : ::rush::detail::invariant_failure(#expr, __FILE__, __LINE__))

@@ -1,0 +1,22 @@
+// Small string utilities shared across modules (no external deps).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rush::str {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+std::string_view trim(std::string_view s) noexcept;
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Strict numeric parses; throw ParseError on malformed input.
+double to_double(std::string_view s);
+long long to_int(std::string_view s);
+
+/// "1h2m3s"-style duration rendering for report output (input in seconds).
+std::string format_duration(double seconds);
+
+}  // namespace rush::str

@@ -1,0 +1,145 @@
+#include "core/collector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace rush::core {
+
+LongitudinalCollector::LongitudinalCollector(CollectorConfig config, EnvironmentConfig env_config)
+    : config_(std::move(config)), env_config_(env_config) {
+  RUSH_EXPECTS(config_.days > 0);
+  RUSH_EXPECTS(config_.sessions_per_day > 0);
+  RUSH_EXPECTS(config_.jobs_per_session > 0);
+  RUSH_EXPECTS(config_.nodes_per_job > 0);
+  RUSH_EXPECTS(config_.session_start_hi_s >= config_.session_start_lo_s);
+  // Tie the environment's stochastic state to the collection seed so the
+  // whole campaign is one reproducible unit.
+  env_config_.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+}
+
+Corpus LongitudinalCollector::collect() {
+  Environment env(env_config_);
+  auto rng = env.rng_for(0xC011EC7);
+
+  std::vector<std::string> app_names = config_.apps;
+  if (app_names.empty()) app_names = apps::proxy_app_names();
+  std::unordered_map<std::string, int> app_index;
+  for (std::size_t i = 0; i < app_names.size(); ++i)
+    app_index.emplace(app_names[i], static_cast<int>(i));
+
+  const double day = 86400.0;
+  const double campaign_s = static_cast<double>(config_.days) * day;
+  if (config_.storm_days > 0.0) {
+    cluster::Storm storm;
+    storm.start = campaign_s * config_.storm_at_fraction;
+    storm.end = storm.start + config_.storm_days * day;
+    storm.net_intensity = config_.storm_net_intensity;
+    storm.io_intensity = config_.storm_io_intensity;
+    env.background().add_storm(storm);
+  }
+  env.background().start();
+
+  // Noise job on every stride-th pod node, running for the whole campaign.
+  const cluster::NodeSet pod = env.pod_nodes();
+  cluster::NodeSet noise_nodes;
+  std::unique_ptr<apps::NoiseJob> noise;
+  if (config_.with_noise_job) {
+    for (std::size_t i = 0; i < pod.size();
+         i += static_cast<std::size_t>(config_.noise_node_stride))
+      noise_nodes.push_back(pod[i]);
+    noise = std::make_unique<apps::NoiseJob>(env.engine(), env.network(), noise_nodes,
+                                             config_.noise, env.rng_for(0x401CE));
+    noise->start();
+  }
+
+  // Jobs are allocated from the remaining nodes; the allocator persists
+  // across sessions (every session drains fully).
+  cluster::NodeSet job_nodes;
+  for (cluster::NodeId n : pod)
+    if (!std::binary_search(noise_nodes.begin(), noise_nodes.end(), n)) job_nodes.push_back(n);
+  cluster::NodeAllocator allocator(std::move(job_nodes));
+
+  Corpus corpus;
+  for (int d = 0; d < config_.days; ++d) {
+    for (int s = 0; s < config_.sessions_per_day; ++s) {
+      const double start =
+          static_cast<double>(d) * day +
+          rng.uniform(config_.session_start_lo_s, config_.session_start_hi_s) +
+          static_cast<double>(s) * 4.0 * 3600.0;
+
+      // Lead time so the counter store holds a full window at the first
+      // launch, then run the session with sampling on.
+      env.engine().run_until(std::max(env.engine().now(), start - env.features().window_s()));
+      env.sampler().start();
+      env.engine().run_until(start);
+
+      SessionConfig sc;
+      sc.apps = app_names;
+      sc.num_jobs = config_.jobs_per_session;
+      sc.node_counts = {config_.nodes_per_job};
+      sc.submit_window_s = config_.submit_window_s;
+
+      sched::SchedulerConfig baseline;  // FCFS+EASY, no RUSH
+      WorkloadSession session(env, allocator, sc, baseline, nullptr, rng.split(0x5E55));
+
+      std::unordered_map<sched::JobId, CollectedSample> pending;
+      session.on_start([this, &env, &pending, &app_index](const sched::Job& job) {
+        const auto canary = env.canary().run(job.nodes);
+        CollectedSample sample;
+        sample.app = job.app_name();
+        sample.app_index = app_index.at(sample.app);
+        sample.workload = job.spec.app.workload;
+        sample.node_count = static_cast<int>(job.nodes.size());
+        sample.start_s = env.engine().now();
+        sample.features_all =
+            env.features().assemble(env.engine().now(), telemetry::AggregationScope::AllNodes,
+                                    job.nodes, canary, job.spec.app.workload);
+        sample.features_job =
+            env.features().assemble(env.engine().now(), telemetry::AggregationScope::JobNodes,
+                                    job.nodes, canary, job.spec.app.workload);
+        pending.emplace(job.id, std::move(sample));
+      });
+      session.on_complete([&pending, &corpus](const sched::Job& job) {
+        const auto it = pending.find(job.id);
+        RUSH_ASSERT(it != pending.end());
+        it->second.runtime_s = job.runtime_s();
+        corpus.add(std::move(it->second));
+        pending.erase(it);
+      });
+
+      (void)session.run();
+      env.sampler().stop();
+    }
+  }
+  return corpus;
+}
+
+Corpus LongitudinalCollector::collect_or_load(const std::filesystem::path& cache_path) {
+  if (std::filesystem::exists(cache_path)) {
+    std::ifstream in(cache_path);
+    if (in) {
+      try {
+        Corpus cached = Corpus::from_csv(in);
+        if (!cached.empty()) return cached;
+      } catch (const std::exception&) {
+        // fall through and rebuild
+      }
+    }
+  }
+  Corpus corpus = collect();
+  std::ofstream out(cache_path);
+  if (out) corpus.to_csv(out);
+  return corpus;
+}
+
+std::filesystem::path default_corpus_cache(const std::string& tag) {
+  const char* dir = std::getenv("RUSH_CACHE_DIR");
+  const std::filesystem::path base = dir != nullptr ? dir : ".";
+  return base / ("rush_corpus_" + tag + ".csv");
+}
+
+}  // namespace rush::core

@@ -1,0 +1,63 @@
+// The longitudinal training corpus (paper §III).
+//
+// One sample per control-job run: the 282-feature vector under both
+// aggregation scopes, the measured run time, and identifying metadata.
+// Corpora are CSV round-trippable so expensive collections can be cached.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "telemetry/features.hpp"
+
+namespace rush::core {
+
+struct CollectedSample {
+  std::string app;
+  int app_index = 0;  // index into the collection's app list (the CV group)
+  telemetry::WorkloadClass workload = telemetry::WorkloadClass::Compute;
+  int node_count = 0;
+  double start_s = 0.0;
+  double runtime_s = 0.0;
+  std::vector<double> features_all;  // AggregationScope::AllNodes
+  std::vector<double> features_job;  // AggregationScope::JobNodes
+};
+
+/// Per-application run-time statistics (the labeling baseline).
+struct AppStats {
+  std::string app;
+  std::size_t runs = 0;
+  double mean_s = 0.0;
+  double stddev_s = 0.0;  // sample stddev
+  double min_s = 0.0;
+  double max_s = 0.0;
+};
+
+class Corpus {
+ public:
+  void add(CollectedSample sample);
+
+  [[nodiscard]] const std::vector<CollectedSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Distinct app names in first-seen order.
+  [[nodiscard]] std::vector<std::string> app_names() const;
+  /// Run-time statistics per app (order of app_names()).
+  [[nodiscard]] std::vector<AppStats> app_stats() const;
+  /// Stats for one app; throws if the app has no samples.
+  [[nodiscard]] AppStats stats_for(const std::string& app) const;
+
+  /// Samples restricted to the given apps (e.g., the PDPA training split).
+  [[nodiscard]] Corpus filter_apps(const std::vector<std::string>& apps) const;
+
+  void to_csv(std::ostream& os) const;
+  static Corpus from_csv(std::istream& is);
+
+ private:
+  std::vector<CollectedSample> samples_;
+};
+
+}  // namespace rush::core

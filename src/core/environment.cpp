@@ -1,0 +1,40 @@
+#include "core/environment.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/schema.hpp"
+
+namespace rush::core {
+
+EnvironmentConfig single_pod_config(std::uint64_t seed) {
+  EnvironmentConfig cfg;
+  cfg.tree.pods = 1;
+  cfg.tree.edges_per_pod = 16;
+  cfg.tree.nodes_per_edge = 32;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Environment::Environment(EnvironmentConfig config)
+    : config_(config), master_rng_(config.seed) {
+  RUSH_EXPECTS(config_.telemetry_pod >= 0 && config_.telemetry_pod < config_.tree.pods);
+  tree_ = std::make_unique<cluster::FatTree>(config_.tree);
+  network_ = std::make_unique<cluster::NetworkModel>(*tree_);
+  lustre_ = std::make_unique<cluster::LustreModel>(config_.lustre_gbps);
+  background_ = std::make_unique<cluster::BackgroundLoad>(engine_, *network_, *lustre_,
+                                                          config_.background, rng_for(0xBACD));
+  store_ = std::make_unique<telemetry::CounterStore>(tree_->nodes_in_pod(config_.telemetry_pod),
+                                                     telemetry::num_counters(),
+                                                     config_.store_capacity_frames);
+  sampler_ = std::make_unique<telemetry::CounterSampler>(engine_, *network_, *lustre_, *store_,
+                                                         config_.sampler, rng_for(0x5A3B));
+  canary_ = std::make_unique<telemetry::MpiCanary>(*network_, config_.canary, rng_for(0xCA4A));
+  features_ = std::make_unique<telemetry::FeatureAssembler>(*store_, config_.feature_window_s);
+  execution_ = std::make_unique<apps::ExecutionModel>(engine_, *network_, *lustre_,
+                                                      config_.execution, rng_for(0xE8EC));
+}
+
+cluster::NodeSet Environment::pod_nodes() const {
+  return tree_->nodes_in_pod(config_.telemetry_pod);
+}
+
+}  // namespace rush::core

@@ -1,0 +1,194 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rush::core {
+
+namespace {
+
+std::vector<std::string> all_app_names() { return apps::proxy_app_names(); }
+
+/// Trial seeds depend on the *workload* (apps, job count, node counts),
+/// not the experiment code, so experiments that run the same workload
+/// with different models (ADPA vs PDPA) share identical trial conditions
+/// — ADPA is the paper's control for PDPA.
+std::uint64_t mix_seed(std::uint64_t base, const ExperimentSpec& spec, int trial) {
+  std::uint64_t h = base ^ 0x51ed2701a3c5e91bULL;
+  for (const std::string& app : spec.run_apps)
+    for (char c : app) h = (h * 131) + static_cast<unsigned char>(c);
+  h = (h * 131) + static_cast<std::uint64_t>(spec.num_jobs);
+  for (int n : spec.node_counts) h = (h * 131) + static_cast<std::uint64_t>(n);
+  h ^= static_cast<std::uint64_t>(trial) * 0x9e3779b97f4a7c15ULL;
+  return h;
+}
+
+}  // namespace
+
+ExperimentSpec experiment_spec(ExperimentId id) {
+  ExperimentSpec spec;
+  spec.id = id;
+  switch (id) {
+    case ExperimentId::ADAA:
+      spec.code = "ADAA";
+      spec.name = "All Data All Apps";
+      spec.description = "ML model trained on data from all running applications";
+      spec.run_apps = all_app_names();
+      spec.num_jobs = 190;
+      break;
+    case ExperimentId::ADPA:
+      spec.code = "ADPA";
+      spec.name = "All Data Partial Apps";
+      spec.description = "Subset of 3 applications running";
+      spec.run_apps = {"Laghos", "LBANN", "PENNANT"};
+      spec.num_jobs = 150;
+      break;
+    case ExperimentId::PDPA:
+      spec.code = "PDPA";
+      spec.name = "Partial Data Partial Apps";
+      spec.description = "ML model trained on AMG, Kripke, sw4lite, SWFFT";
+      spec.run_apps = {"Laghos", "LBANN", "PENNANT"};
+      spec.train_apps = {"AMG", "Kripke", "sw4lite", "SWFFT"};
+      spec.num_jobs = 150;
+      break;
+    case ExperimentId::WS:
+      spec.code = "WS";
+      spec.name = "Weak Scaling";
+      spec.description = "Jobs run on 8, 16, and 32 nodes - weak scaling";
+      spec.run_apps = all_app_names();
+      spec.num_jobs = 190;
+      spec.node_counts = {8, 16, 32};
+      spec.scaling = apps::ScalingMode::Weak;
+      break;
+    case ExperimentId::SS:
+      spec.code = "SS";
+      spec.name = "Strong Scaling";
+      spec.description = "Jobs run on 8, 16, and 32 nodes - strong scaling";
+      spec.run_apps = all_app_names();
+      spec.num_jobs = 190;
+      spec.node_counts = {8, 16, 32};
+      spec.scaling = apps::ScalingMode::Strong;
+      break;
+  }
+  return spec;
+}
+
+std::vector<ExperimentSpec> all_experiments() {
+  return {experiment_spec(ExperimentId::ADAA), experiment_spec(ExperimentId::ADPA),
+          experiment_spec(ExperimentId::PDPA), experiment_spec(ExperimentId::WS),
+          experiment_spec(ExperimentId::SS)};
+}
+
+ExperimentRunner::ExperimentRunner(Corpus training_corpus, ExperimentConfig config)
+    : corpus_(std::move(training_corpus)), config_(config), labeler_(corpus_) {
+  RUSH_EXPECTS(config_.trials_per_policy > 0);
+  RUSH_EXPECTS(config_.initial_fraction >= 0.0 && config_.initial_fraction <= 1.0);
+  RUSH_EXPECTS(config_.submit_window_s > 0.0);
+  RUSH_EXPECTS(config_.walltime_factor_hi >= config_.walltime_factor_lo);
+  RUSH_EXPECTS(config_.walltime_factor_lo >= 1.0);
+}
+
+TrainedPredictor ExperimentRunner::train_predictor(const ExperimentSpec& spec) const {
+  const Corpus train_corpus =
+      spec.train_apps.empty() ? corpus_ : corpus_.filter_apps(spec.train_apps);
+  RUSH_EXPECTS(!train_corpus.empty());
+  // Labels come from the training corpus's own per-app statistics (for
+  // PDPA that means the four held-out apps only — the predictor never
+  // sees the running apps' data).
+  const Labeler train_labeler(train_corpus, labeler_.thresholds());
+  TrainerConfig tc;
+  tc.model_name = "adaboost";  // the paper's selected model
+  PredictorTrainer trainer(tc);
+  return trainer.train(train_corpus, train_labeler);
+}
+
+TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rush,
+                                        std::uint64_t trial_seed,
+                                        const TrainedPredictor* predictor) const {
+  RUSH_EXPECTS(!use_rush || (predictor != nullptr && predictor->ready()));
+  RUSH_EXPECTS(!spec.run_apps.empty());
+  RUSH_EXPECTS(spec.num_jobs > 0);
+
+  Environment env(single_pod_config(trial_seed));
+
+  // Noise job on every stride-th node of the pod.
+  const cluster::NodeSet pod = env.pod_nodes();
+  cluster::NodeSet noise_nodes;
+  for (std::size_t i = 0; i < pod.size(); i += static_cast<std::size_t>(config_.noise_node_stride))
+    noise_nodes.push_back(pod[i]);
+  apps::NoiseJob noise(env.engine(), env.network(), noise_nodes, config_.noise,
+                       env.rng_for(0x401CE));
+
+  // Jobs are allocated from the remaining nodes.
+  cluster::NodeSet job_nodes;
+  for (cluster::NodeId n : pod)
+    if (!std::binary_search(noise_nodes.begin(), noise_nodes.end(), n)) job_nodes.push_back(n);
+  cluster::NodeAllocator allocator(std::move(job_nodes));
+
+  sched::SchedulerConfig sc;
+  sc.enable_backfill = true;
+  sc.rush_enabled = use_rush;
+  sc.delay_on_little_variation = config_.delay_on_little_variation;
+  sc.skip_placement = config_.skip_placement;
+
+  std::unique_ptr<RushOracle> oracle;
+  if (use_rush) oracle = std::make_unique<RushOracle>(env, *predictor);
+
+  SessionConfig session_config;
+  session_config.apps = spec.run_apps;
+  session_config.num_jobs = spec.num_jobs;
+  session_config.node_counts = spec.node_counts;
+  session_config.scaling = spec.scaling;
+  session_config.submit_window_s = config_.submit_window_s;
+  session_config.initial_fraction = config_.initial_fraction;
+  session_config.walltime_factor_lo = config_.walltime_factor_lo;
+  session_config.walltime_factor_hi = config_.walltime_factor_hi;
+  session_config.skip_threshold = config_.skip_threshold;
+  session_config.main_policy = config_.main_policy;
+  session_config.backfill_policy = config_.backfill_policy;
+  session_config.max_session_s = config_.max_sim_s;
+
+  env.background().start();
+  env.sampler().start();
+  noise.start();
+
+  WorkloadSession session(env, allocator, session_config, sc, oracle.get(),
+                          env.rng_for(0xE59E51));
+
+  TrialResult result_probe;  // probe samples accumulated by the timer
+  if (config_.record_probe) {
+    const sched::Scheduler& scheduler = session.scheduler();
+    env.engine().schedule_periodic(60.0, 60.0, [&env, &noise, &scheduler, &result_probe] {
+      result_probe.probe_noise_rate.push_back(noise.current_rate_gbps());
+      double worst = 0.0;
+      for (int e = 0; e < env.tree().num_edges(); ++e)
+        worst = std::max(worst, env.network().link_utilization(env.tree().edge_uplink(e)));
+      result_probe.probe_max_edge_util.push_back(worst);
+      result_probe.probe_running_jobs.push_back(static_cast<double>(scheduler.running_count()));
+    });
+  }
+
+  TrialResult result = session.run();
+  result.policy = use_rush ? "rush" : "fcfs-easy";
+  result.seed = trial_seed;
+  result.oracle_evaluations = oracle ? oracle->evaluations() : 0;
+  result.probe_noise_rate = std::move(result_probe.probe_noise_rate);
+  result.probe_max_edge_util = std::move(result_probe.probe_max_edge_util);
+  result.probe_running_jobs = std::move(result_probe.probe_running_jobs);
+  return result;
+}
+
+ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
+  ExperimentResult result;
+  result.spec = spec;
+  const TrainedPredictor predictor = train_predictor(spec);
+  for (int t = 0; t < config_.trials_per_policy; ++t) {
+    const std::uint64_t seed = mix_seed(config_.seed, spec, t);
+    result.baseline.push_back(run_trial(spec, /*use_rush=*/false, seed, nullptr));
+    result.rush.push_back(run_trial(spec, /*use_rush=*/true, seed, &predictor));
+  }
+  return result;
+}
+
+}  // namespace rush::core

@@ -1,0 +1,96 @@
+// Scheduling experiments (paper §VI-A, Table II).
+//
+// Each experiment mimics a typical HPC workload inside a single-pod
+// 512-node reservation: a noise job occupies 1/16 of the nodes and sends
+// variable all-to-all traffic; 20% of the job queue is submitted at t=0
+// and the rest uniformly over 20 minutes; trials are run five times per
+// policy (FCFS+EASY control vs. RUSH) with paired seeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/noise.hpp"
+#include "core/collector.hpp"
+#include "core/pipeline.hpp"
+#include "core/rush_oracle.hpp"
+#include "core/session.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rush::core {
+
+enum class ExperimentId : std::uint8_t { ADAA, ADPA, PDPA, WS, SS };
+
+struct ExperimentSpec {
+  ExperimentId id = ExperimentId::ADAA;
+  std::string code;         // "ADAA"
+  std::string name;         // "All Data All Apps"
+  std::string description;  // Table II row text
+  std::vector<std::string> run_apps;    // workload applications
+  std::vector<std::string> train_apps;  // ML training apps; empty = all
+  int num_jobs = 190;
+  std::vector<int> node_counts = {16};
+  apps::ScalingMode scaling = apps::ScalingMode::Strong;
+};
+
+/// The five Table II experiments with the paper's parameters.
+ExperimentSpec experiment_spec(ExperimentId id);
+std::vector<ExperimentSpec> all_experiments();
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<TrialResult> baseline;  // FCFS+EASY
+  std::vector<TrialResult> rush;
+};
+
+struct ExperimentConfig {
+  int trials_per_policy = 5;
+  std::uint64_t seed = 7;
+  double submit_window_s = 1200.0;   // paper: 20 minutes
+  double initial_fraction = 0.2;     // paper: 20% at t=0
+  int noise_node_stride = 16;        // 512/16 = 32 noise nodes, 2 per edge
+  apps::NoiseConfig noise;
+  /// User walltime over-estimation factor range.
+  double walltime_factor_lo = 1.3;
+  double walltime_factor_hi = 2.0;
+  /// Scheduler knobs shared by both policies.
+  sched::SkipPlacement skip_placement = sched::SkipPlacement::Front;
+  bool delay_on_little_variation = false;
+  int skip_threshold = 10;
+  std::string main_policy = "fcfs";
+  std::string backfill_policy = "fcfs";
+  /// Record per-minute utilization probes into TrialResult (diagnostics).
+  bool record_probe = false;
+  /// Hard wall so a bugged trial cannot spin forever.
+  double max_sim_s = 6.0 * 3600.0;
+};
+
+class ExperimentRunner {
+ public:
+  /// `training_corpus` supplies both the predictor training data and the
+  /// per-app reference statistics used to count variation runs.
+  ExperimentRunner(Corpus training_corpus, ExperimentConfig config = {});
+
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec);
+
+  /// One trial with explicit policy selection; exposed for tests and the
+  /// ablation benches. `predictor` is required when `use_rush`.
+  [[nodiscard]] TrialResult run_trial(const ExperimentSpec& spec, bool use_rush,
+                                      std::uint64_t trial_seed,
+                                      const TrainedPredictor* predictor) const;
+
+  /// Labeler over the full training corpus (the variation-count baseline).
+  [[nodiscard]] const Labeler& labeler() const noexcept { return labeler_; }
+  [[nodiscard]] const Corpus& corpus() const noexcept { return corpus_; }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+  /// Train the predictor an experiment needs (honors spec.train_apps).
+  [[nodiscard]] TrainedPredictor train_predictor(const ExperimentSpec& spec) const;
+
+ private:
+  Corpus corpus_;
+  ExperimentConfig config_;
+  Labeler labeler_;
+};
+
+}  // namespace rush::core

@@ -1,0 +1,65 @@
+// Variation labeling (paper §IV-A).
+//
+// Labels are z-scores of a run's time against its application's run-time
+// distribution:
+//   binary      — 1 ("variation") when z > 1.5, else 0; used for model
+//                 and feature selection;
+//   three-class — 0 (z <= 1.2), 1 (1.2 < z <= 1.5), 2 (z > 1.5); used by
+//                 the exported production model.
+// Labels are per-application (each app's own mean/stddev) but the models
+// train on all applications together.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/corpus.hpp"
+#include "ml/dataset.hpp"
+
+namespace rush::core {
+
+struct LabelThresholds {
+  double little_sigma = 1.2;
+  double variation_sigma = 1.5;
+};
+
+class Labeler {
+ public:
+  /// Baseline statistics come from `reference` (usually the corpus
+  /// itself; the experiment evaluation reuses the training-corpus stats).
+  explicit Labeler(const Corpus& reference, LabelThresholds thresholds = {});
+
+  /// Z-score of a run time for one application. Returns 0 when the app's
+  /// spread is degenerate.
+  [[nodiscard]] double zscore(const std::string& app, double runtime_s) const;
+
+  [[nodiscard]] int binary_label(const std::string& app, double runtime_s) const;
+  [[nodiscard]] int three_class_label(const std::string& app, double runtime_s) const;
+
+  /// Whether a run counts as "significant variation" (the metric behind
+  /// Figs. 4-5).
+  [[nodiscard]] bool is_variation(const std::string& app, double runtime_s) const {
+    return binary_label(app, runtime_s) == 1;
+  }
+
+  /// Datasets over a corpus (not necessarily the reference corpus): rows
+  /// in sample order, group = app_index.
+  [[nodiscard]] ml::Dataset binary_dataset(const Corpus& corpus,
+                                           telemetry::AggregationScope scope) const;
+  [[nodiscard]] ml::Dataset three_class_dataset(const Corpus& corpus,
+                                                telemetry::AggregationScope scope) const;
+
+  [[nodiscard]] const LabelThresholds& thresholds() const noexcept { return thresholds_; }
+  [[nodiscard]] bool knows_app(const std::string& app) const noexcept {
+    return stats_.contains(app);
+  }
+
+ private:
+  [[nodiscard]] ml::Dataset make_dataset(const Corpus& corpus, telemetry::AggregationScope scope,
+                                         bool three_class) const;
+
+  LabelThresholds thresholds_;
+  std::unordered_map<std::string, AppStats> stats_;
+};
+
+}  // namespace rush::core

@@ -1,0 +1,140 @@
+#include "core/result_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rush::core {
+
+namespace {
+const std::vector<std::string> kHeader{
+    "policy", "trial",    "seed",    "makespan_s", "total_skips", "oracle_evals",
+    "app",    "nodes",    "submit_s", "wait_s",    "runtime_s",   "slowdown",
+    "initial", "backfilled", "skips"};
+}  // namespace
+
+void save_trials_csv(const std::vector<TrialResult>& trials, std::ostream& os) {
+  CsvWriter writer(os);
+  writer.write_row(kHeader);
+  char buf[64];
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    const TrialResult& trial = trials[t];
+    for (const JobOutcome& job : trial.jobs) {
+      std::vector<std::string> row;
+      row.push_back(trial.policy);
+      row.push_back(std::to_string(t));
+      row.push_back(std::to_string(trial.seed));
+      std::snprintf(buf, sizeof(buf), "%.6f", trial.makespan_s);
+      row.emplace_back(buf);
+      row.push_back(std::to_string(trial.total_skips));
+      row.push_back(std::to_string(trial.oracle_evaluations));
+      row.push_back(job.app);
+      row.push_back(std::to_string(job.node_count));
+      std::snprintf(buf, sizeof(buf), "%.6f", job.submit_s);
+      row.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.6f", job.wait_s);
+      row.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.6f", job.runtime_s);
+      row.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.9f", job.slowdown);
+      row.emplace_back(buf);
+      row.push_back(job.submitted_at_start ? "1" : "0");
+      row.push_back(job.backfilled ? "1" : "0");
+      row.push_back(std::to_string(job.skips));
+      writer.write_row(row);
+    }
+  }
+}
+
+std::vector<TrialResult> load_trials_csv(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const auto rows = parse_csv(buffer.str());
+  if (rows.empty() || rows.front() != kHeader)
+    throw ParseError("trials CSV: missing or stale header");
+
+  std::map<std::pair<std::string, int>, TrialResult> trials;  // keeps (policy, index) order
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& cells = rows[i];
+    if (cells.size() != kHeader.size())
+      throw ParseError("trials CSV row " + std::to_string(i) + " has wrong arity");
+    const std::string& policy = cells[0];
+    const int trial_index = static_cast<int>(str::to_int(cells[1]));
+    TrialResult& trial = trials[{policy, trial_index}];
+    trial.policy = policy;
+    trial.seed = static_cast<std::uint64_t>(str::to_int(cells[2]));
+    trial.makespan_s = str::to_double(cells[3]);
+    trial.total_skips = static_cast<std::uint64_t>(str::to_int(cells[4]));
+    trial.oracle_evaluations = static_cast<std::uint64_t>(str::to_int(cells[5]));
+    JobOutcome job;
+    job.app = cells[6];
+    job.node_count = static_cast<int>(str::to_int(cells[7]));
+    job.submit_s = str::to_double(cells[8]);
+    job.wait_s = str::to_double(cells[9]);
+    job.runtime_s = str::to_double(cells[10]);
+    job.slowdown = str::to_double(cells[11]);
+    job.submitted_at_start = cells[12] == "1";
+    job.backfilled = cells[13] == "1";
+    job.skips = static_cast<int>(str::to_int(cells[14]));
+    trial.jobs.push_back(std::move(job));
+  }
+
+  std::vector<TrialResult> out;
+  out.reserve(trials.size());
+  for (auto& [key, trial] : trials) out.push_back(std::move(trial));
+  return out;
+}
+
+void save_experiment(const ExperimentResult& result, const std::filesystem::path& path) {
+  std::ofstream os(path);
+  RUSH_EXPECTS(os.good());
+  std::vector<TrialResult> all = result.baseline;
+  all.insert(all.end(), result.rush.begin(), result.rush.end());
+  save_trials_csv(all, os);
+}
+
+ExperimentResult load_experiment(const ExperimentSpec& spec,
+                                 const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open " + path.string());
+  ExperimentResult result;
+  result.spec = spec;
+  for (TrialResult& trial : load_trials_csv(is)) {
+    if (trial.policy == "rush") {
+      result.rush.push_back(std::move(trial));
+    } else {
+      result.baseline.push_back(std::move(trial));
+    }
+  }
+  if (result.baseline.empty() || result.rush.empty())
+    throw ParseError("experiment cache incomplete: " + path.string());
+  return result;
+}
+
+ExperimentResult run_or_load_experiment(ExperimentRunner& runner, const ExperimentSpec& spec,
+                                        const std::filesystem::path& path) {
+  if (std::filesystem::exists(path)) {
+    try {
+      return load_experiment(spec, path);
+    } catch (const std::exception&) {
+      // fall through and re-run
+    }
+  }
+  ExperimentResult result = runner.run(spec);
+  save_experiment(result, path);
+  return result;
+}
+
+std::filesystem::path default_experiment_cache(const std::string& code) {
+  const char* dir = std::getenv("RUSH_CACHE_DIR");
+  const std::filesystem::path base = dir != nullptr ? dir : ".";
+  return base / ("rush_experiment_" + code + ".csv");
+}
+
+}  // namespace rush::core

@@ -1,0 +1,22 @@
+#include "core/rush_oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace rush::core {
+
+RushOracle::RushOracle(Environment& env, const TrainedPredictor& predictor)
+    : env_(env), predictor_(predictor) {
+  RUSH_EXPECTS(predictor.ready());
+}
+
+sched::VariabilityPrediction RushOracle::predict(const sched::Job& job,
+                                                 const cluster::NodeSet& candidate_nodes) {
+  ++evaluations_;
+  const auto canary = env_.canary().run(candidate_nodes);
+  const auto features =
+      env_.features().assemble(env_.engine().now(), predictor_.scope(), candidate_nodes, canary,
+                               job.spec.app.workload);
+  return predictor_.predict(features);
+}
+
+}  // namespace rush::core

@@ -1,0 +1,32 @@
+// Live oracle wiring the trained predictor into the scheduler.
+//
+// Mirrors the paper's implementation (§V-B): when the scheduler is about
+// to run a job, a "script" runs the MPI canaries on the candidate nodes,
+// reads the recent counter window, assembles the feature vector, and
+// evaluates the exported model; the scheduler turns the prediction into a
+// launch-or-delay decision (Algorithm 2).
+#pragma once
+
+#include "core/environment.hpp"
+#include "core/pipeline.hpp"
+#include "sched/oracle.hpp"
+
+namespace rush::core {
+
+class RushOracle final : public sched::VariabilityOracle {
+ public:
+  /// All references must outlive the oracle.
+  RushOracle(Environment& env, const TrainedPredictor& predictor);
+
+  [[nodiscard]] sched::VariabilityPrediction predict(
+      const sched::Job& job, const cluster::NodeSet& candidate_nodes) override;
+
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  Environment& env_;
+  const TrainedPredictor& predictor_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace rush::core

@@ -1,0 +1,56 @@
+// Abstract classifier interface shared by every model in the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace rush::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the dataset. `sample_weights` (if non-empty) must have one
+  /// entry per row; models that cannot honor weights ignore them.
+  virtual void fit(const Dataset& data, std::span<const double> sample_weights = {}) = 0;
+
+  /// Predicted class label for one feature vector.
+  [[nodiscard]] virtual int predict(std::span<const double> x) const = 0;
+
+  /// Per-class scores summing to 1 (vote fractions / weighted votes).
+  [[nodiscard]] virtual std::vector<double> predict_proba(std::span<const double> x) const = 0;
+
+  [[nodiscard]] virtual int num_classes() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_features() const noexcept = 0;
+  [[nodiscard]] virtual bool is_fitted() const noexcept = 0;
+
+  /// Model type tag used by the serialization registry ("extra_trees"...).
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// Per-feature importance scores summing to 1; empty if the model has
+  /// no native notion of importance (e.g., KNN).
+  [[nodiscard]] virtual std::vector<double> feature_importances() const { return {}; }
+
+  /// Unfitted copy with the same hyperparameters (for cross-validation).
+  [[nodiscard]] virtual std::unique_ptr<Classifier> clone_config() const = 0;
+
+  /// Serialize the fitted model (type-specific body; see serialize.hpp for
+  /// the framed container format).
+  virtual void save_body(std::ostream& os) const = 0;
+  virtual void load_body(std::istream& is) = 0;
+
+  /// Convenience: predictions for every row of a dataset.
+  [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const {
+    std::vector<int> out;
+    out.reserve(data.rows());
+    for (std::size_t i = 0; i < data.rows(); ++i) out.push_back(predict(data.row(i)));
+    return out;
+  }
+};
+
+}  // namespace rush::ml

@@ -1,0 +1,99 @@
+#include "ml/rfe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "ml/validation.hpp"
+
+namespace rush::ml {
+
+namespace {
+
+/// |correlation| of each feature with the (possibly multi-class) label,
+/// used when the model exposes no importances.
+std::vector<double> correlation_ranking(const Dataset& data) {
+  std::vector<double> label_values(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    label_values[i] = static_cast<double>(data.label(i));
+  const double ly_mean = stats::mean(label_values);
+  double ly_var = 0.0;
+  for (double v : label_values) ly_var += (v - ly_mean) * (v - ly_mean);
+
+  std::vector<double> out(data.cols(), 0.0);
+  for (std::size_t f = 0; f < data.cols(); ++f) {
+    const auto col = data.column(f);
+    const double fx_mean = stats::mean(col);
+    double cov = 0.0, fx_var = 0.0;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      const double dx = col[i] - fx_mean;
+      cov += dx * (label_values[i] - ly_mean);
+      fx_var += dx * dx;
+    }
+    const double denom = std::sqrt(fx_var * ly_var);
+    out[f] = denom > 0.0 ? std::abs(cov / denom) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+RfeResult recursive_feature_elimination(const Classifier& prototype, const Dataset& data,
+                                        const RfeConfig& config) {
+  RUSH_EXPECTS(!data.empty());
+  RUSH_EXPECTS(config.min_features >= 1);
+  RUSH_EXPECTS(config.step_fraction > 0.0 && config.step_fraction < 1.0);
+
+  std::vector<std::size_t> current(data.cols());
+  for (std::size_t f = 0; f < current.size(); ++f) current[f] = f;
+
+  RfeResult result;
+  Rng rng(config.seed);
+
+  while (true) {
+    const Dataset view = data.select_features(current);
+
+    // Score the current set.
+    Rng fold_rng = rng.split(current.size());
+    const auto folds = stratified_kfold(view.labels(), config.cv_folds, fold_rng);
+    const double f1 = cross_validate(prototype, view, folds).mean_f1();
+    result.history.push_back(RfeRound{current.size(), f1});
+    if (f1 > result.best_f1 || result.selected.empty()) {
+      result.best_f1 = f1;
+      result.selected = current;
+    }
+    if (current.size() <= config.min_features) break;
+
+    // Rank features, drop the weakest `step` of them.
+    auto model = prototype.clone_config();
+    model->fit(view);
+    std::vector<double> rank = model->feature_importances();
+    if (rank.empty()) rank = correlation_ranking(view);
+    RUSH_ASSERT(rank.size() == current.size());
+
+    std::vector<std::size_t> order(current.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&rank](std::size_t a, std::size_t b) { return rank[a] < rank[b]; });
+
+    const auto step = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(config.step_fraction *
+                                               static_cast<double>(current.size()))));
+    const auto drop =
+        std::min(step, current.size() - config.min_features);
+    std::vector<bool> removed(current.size(), false);
+    for (std::size_t i = 0; i < drop; ++i) removed[order[i]] = true;
+
+    std::vector<std::size_t> next;
+    next.reserve(current.size() - drop);
+    for (std::size_t i = 0; i < current.size(); ++i)
+      if (!removed[i]) next.push_back(current[i]);
+    current = std::move(next);
+  }
+
+  std::sort(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+}  // namespace rush::ml

@@ -1,0 +1,43 @@
+// Recursive feature elimination (paper §IV-A).
+//
+// "Features are eliminated recursively and the set with the highest F1
+// score are kept. For the Extra Trees and Decision Forest models, which
+// have metrics for feature importance, the least important features are
+// removed first."
+//
+// For models without native importances the ranking falls back to the
+// absolute point-biserial correlation between each feature and the label.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace rush::ml {
+
+struct RfeConfig {
+  std::size_t min_features = 16;
+  /// Fraction of remaining features removed per round (at least 1).
+  double step_fraction = 0.15;
+  std::size_t cv_folds = 5;
+  std::uint64_t seed = 13;
+};
+
+struct RfeRound {
+  std::size_t num_features = 0;
+  double cv_f1 = 0.0;
+};
+
+struct RfeResult {
+  /// Original-dataset feature indices of the best-scoring set (ascending).
+  std::vector<std::size_t> selected;
+  double best_f1 = 0.0;
+  /// (feature count, CV F1) per elimination round, largest set first.
+  std::vector<RfeRound> history;
+};
+
+RfeResult recursive_feature_elimination(const Classifier& prototype, const Dataset& data,
+                                        const RfeConfig& config = {});
+
+}  // namespace rush::ml

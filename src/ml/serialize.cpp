@@ -1,0 +1,50 @@
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/tree.hpp"
+
+namespace rush::ml {
+
+namespace {
+constexpr const char* kMagic = "rush-model";
+constexpr int kVersion = 1;
+}  // namespace
+
+std::unique_ptr<Classifier> make_classifier(const std::string& type_name) {
+  if (type_name == "decision_tree") return std::make_unique<DecisionTree>();
+  if (type_name == "decision_forest") return std::make_unique<Forest>(decision_forest_config());
+  if (type_name == "extra_trees") return std::make_unique<Forest>(extra_trees_config());
+  if (type_name == "adaboost") return std::make_unique<AdaBoost>();
+  if (type_name == "knn") return std::make_unique<Knn>();
+  throw ParseError("unknown classifier type '" + type_name + "'");
+}
+
+void save_classifier(const Classifier& model, std::ostream& os) {
+  RUSH_EXPECTS(model.is_fitted());
+  os << kMagic << " " << kVersion << "\n";
+  os << "type " << model.type_name() << "\n";
+  model.save_body(os);
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != kMagic) throw ParseError("not a rush-model stream");
+  if (version != kVersion)
+    throw ParseError("unsupported rush-model version " + std::to_string(version));
+  std::string tag, type;
+  is >> tag >> type;
+  if (tag != "type") throw ParseError("rush-model: missing type line");
+  auto model = make_classifier(type);
+  model->load_body(is);
+  return model;
+}
+
+}  // namespace rush::ml

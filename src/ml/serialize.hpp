@@ -1,0 +1,25 @@
+// Model persistence: the "pickled and exported for use in the scheduler"
+// step of the paper's pipeline, as a versioned text container.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/classifier.hpp"
+
+namespace rush::ml {
+
+/// Construct an unfitted classifier by registry type name:
+/// "decision_tree", "decision_forest", "extra_trees", "adaboost", "knn".
+/// Throws ParseError for unknown names.
+std::unique_ptr<Classifier> make_classifier(const std::string& type_name);
+
+/// Write `model` (must be fitted) with a framed header so load can
+/// dispatch on type.
+void save_classifier(const Classifier& model, std::ostream& os);
+
+/// Read a model previously written by save_classifier.
+std::unique_ptr<Classifier> load_classifier(std::istream& is);
+
+}  // namespace rush::ml

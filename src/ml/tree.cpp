@@ -1,0 +1,313 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace rush::ml {
+
+namespace {
+
+/// Weighted Gini impurity from per-class weight totals.
+double gini(const std::vector<double>& class_weights, double total) noexcept {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double w : class_weights) {
+    const double p = w / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig config) : config_(config) {
+  RUSH_EXPECTS(config_.max_depth > 0);
+  RUSH_EXPECTS(config_.min_samples_split >= 2);
+  RUSH_EXPECTS(config_.min_samples_leaf >= 1);
+}
+
+void DecisionTree::fit(const Dataset& data, std::span<const double> sample_weights) {
+  RUSH_EXPECTS(!data.empty());
+  RUSH_EXPECTS(sample_weights.empty() || sample_weights.size() == data.rows());
+
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  num_features_ = data.cols();
+  importances_.assign(num_features_, 0.0);
+
+  std::vector<double> weights;
+  if (sample_weights.empty()) {
+    weights.assign(data.rows(), 1.0);
+  } else {
+    weights.assign(sample_weights.begin(), sample_weights.end());
+  }
+
+  std::vector<std::size_t> indices(data.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  Rng rng(config_.seed);
+  build(data, weights, indices, 0, rng);
+
+  // Normalize importances to sum to 1 (when any split was made).
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0)
+    for (double& v : importances_) v /= total;
+}
+
+std::int32_t DecisionTree::make_leaf(const Dataset& data, std::span<const double> weights,
+                                     const std::vector<std::size_t>& indices) {
+  Node leaf;
+  leaf.proba.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  double total = 0.0;
+  for (std::size_t i : indices) {
+    leaf.proba[static_cast<std::size_t>(data.label(i))] += weights[i];
+    total += weights[i];
+  }
+  if (total > 0.0)
+    for (double& p : leaf.proba) p /= total;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+DecisionTree::SplitResult DecisionTree::find_split(const Dataset& data,
+                                                   std::span<const double> weights,
+                                                   const std::vector<std::size_t>& indices,
+                                                   Rng& rng) const {
+  const std::size_t k = static_cast<std::size_t>(num_classes_);
+
+  // Parent impurity.
+  std::vector<double> parent_w(k, 0.0);
+  double total_w = 0.0;
+  for (std::size_t i : indices) {
+    parent_w[static_cast<std::size_t>(data.label(i))] += weights[i];
+    total_w += weights[i];
+  }
+  const double parent_gini = gini(parent_w, total_w);
+  if (parent_gini <= 0.0 || total_w <= 0.0) return {};
+
+  // Candidate features: all, or a random subset of max_features.
+  std::vector<std::size_t> candidates;
+  if (config_.max_features == 0 || config_.max_features >= num_features_) {
+    candidates.resize(num_features_);
+    for (std::size_t f = 0; f < num_features_; ++f) candidates[f] = f;
+  } else {
+    candidates = rng.sample_indices(num_features_, config_.max_features);
+  }
+
+  SplitResult best;
+  std::vector<std::pair<double, std::size_t>> sorted;  // (value, row)
+  std::vector<double> left_w(k);
+
+  for (std::size_t f : candidates) {
+    if (config_.random_thresholds) {
+      // Extra-trees: one uniform threshold in (min, max).
+      double lo = std::numeric_limits<double>::max();
+      double hi = std::numeric_limits<double>::lowest();
+      for (std::size_t i : indices) {
+        const double v = data.row(i)[f];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi <= lo) continue;
+      const double threshold = rng.uniform(lo, hi);
+      std::fill(left_w.begin(), left_w.end(), 0.0);
+      double lw = 0.0;
+      std::size_t left_n = 0;
+      for (std::size_t i : indices) {
+        if (data.row(i)[f] <= threshold) {
+          left_w[static_cast<std::size_t>(data.label(i))] += weights[i];
+          lw += weights[i];
+          ++left_n;
+        }
+      }
+      const std::size_t right_n = indices.size() - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+      std::vector<double> right_w(k);
+      for (std::size_t c = 0; c < k; ++c) right_w[c] = parent_w[c] - left_w[c];
+      const double rw = total_w - lw;
+      const double child =
+          (lw * gini(left_w, lw) + rw * gini(right_w, rw)) / total_w;
+      const double decrease = parent_gini - child;
+      if (decrease > best.impurity_decrease) {
+        best = SplitResult{true, static_cast<int>(f), threshold, decrease};
+      }
+    } else {
+      // Exact CART: sort node samples by feature value and scan boundaries.
+      sorted.clear();
+      sorted.reserve(indices.size());
+      for (std::size_t i : indices) sorted.emplace_back(data.row(i)[f], i);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+
+      std::fill(left_w.begin(), left_w.end(), 0.0);
+      double lw = 0.0;
+      for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+        const auto [value, row] = sorted[pos];
+        left_w[static_cast<std::size_t>(data.label(row))] += weights[row];
+        lw += weights[row];
+        if (value == sorted[pos + 1].first) continue;  // not a boundary
+        const std::size_t left_n = pos + 1;
+        const std::size_t right_n = sorted.size() - left_n;
+        if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+        std::vector<double> right_w(k);
+        for (std::size_t c = 0; c < k; ++c) right_w[c] = parent_w[c] - left_w[c];
+        const double rw = total_w - lw;
+        const double child =
+            (lw * gini(left_w, lw) + rw * gini(right_w, rw)) / total_w;
+        const double decrease = parent_gini - child;
+        if (decrease > best.impurity_decrease) {
+          best.found = true;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (value + sorted[pos + 1].first);
+          best.impurity_decrease = decrease;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::int32_t DecisionTree::build(const Dataset& data, std::span<const double> weights,
+                                 std::vector<std::size_t>& indices, int depth, Rng& rng) {
+  RUSH_ASSERT(!indices.empty());
+  const bool can_split = depth < config_.max_depth &&
+                         indices.size() >= config_.min_samples_split;
+  SplitResult split;
+  if (can_split) split = find_split(data, weights, indices, rng);
+  if (!split.found) return make_leaf(data, weights, indices);
+
+  // Total node weight scales the recorded importance so splits near the
+  // root matter more.
+  double total_w = 0.0;
+  for (std::size_t i : indices) total_w += weights[i];
+  importances_[static_cast<std::size_t>(split.feature)] += total_w * split.impurity_decrease;
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (std::size_t i : indices) {
+    if (data.row(i)[static_cast<std::size_t>(split.feature)] <= split.threshold)
+      left_idx.push_back(i);
+    else
+      right_idx.push_back(i);
+  }
+  RUSH_ASSERT(!left_idx.empty() && !right_idx.empty());
+  indices.clear();
+  indices.shrink_to_fit();
+
+  Node internal;
+  internal.feature = split.feature;
+  internal.threshold = split.threshold;
+  nodes_.push_back(std::move(internal));
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  const std::int32_t left = build(data, weights, left_idx, depth + 1, rng);
+  const std::int32_t right = build(data, weights, right_idx, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+std::vector<double> DecisionTree::predict_proba(std::span<const double> x) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    RUSH_ASSERT(node >= 0);
+  }
+  return nodes_[static_cast<std::size_t>(node)].proba;
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<double> DecisionTree::feature_importances() const { return importances_; }
+
+std::unique_ptr<Classifier> DecisionTree::clone_config() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the node array.
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.feature >= 0) {
+      stack.emplace_back(n.left, d + 1);
+      stack.emplace_back(n.right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::save_body(std::ostream& os) const {
+  RUSH_EXPECTS(is_fitted());
+  os << "classes " << num_classes_ << "\n";
+  os << "features " << num_features_ << "\n";
+  os << "nodes " << nodes_.size() << "\n";
+  os.precision(17);
+  for (const Node& n : nodes_) {
+    if (n.feature >= 0) {
+      os << "split " << n.feature << " " << n.threshold << " " << n.left << " " << n.right
+         << "\n";
+    } else {
+      os << "leaf";
+      for (double p : n.proba) os << " " << p;
+      os << "\n";
+    }
+  }
+  os << "importances";
+  for (double v : importances_) os << " " << v;
+  os << "\n";
+}
+
+void DecisionTree::load_body(std::istream& is) {
+  std::string tag;
+  std::size_t node_count = 0;
+  is >> tag >> num_classes_;
+  if (tag != "classes" || num_classes_ <= 0) throw ParseError("tree: bad classes header");
+  is >> tag >> num_features_;
+  if (tag != "features" || num_features_ == 0) throw ParseError("tree: bad features header");
+  is >> tag >> node_count;
+  if (tag != "nodes" || node_count == 0) throw ParseError("tree: bad nodes header");
+
+  nodes_.clear();
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    is >> tag;
+    Node n;
+    if (tag == "split") {
+      is >> n.feature >> n.threshold >> n.left >> n.right;
+      if (!is || n.feature < 0 || n.left < 0 || n.right < 0)
+        throw ParseError("tree: malformed split node");
+    } else if (tag == "leaf") {
+      n.proba.resize(static_cast<std::size_t>(num_classes_));
+      for (double& p : n.proba) is >> p;
+      if (!is) throw ParseError("tree: malformed leaf node");
+    } else {
+      throw ParseError("tree: unknown node tag '" + tag + "'");
+    }
+    nodes_.push_back(std::move(n));
+  }
+  is >> tag;
+  if (tag != "importances") throw ParseError("tree: missing importances");
+  importances_.resize(num_features_);
+  for (double& v : importances_) is >> v;
+  if (!is) throw ParseError("tree: malformed importances");
+}
+
+}  // namespace rush::ml

@@ -1,0 +1,80 @@
+// CART decision tree with weighted samples.
+//
+// One implementation serves two ensemble styles:
+//  - exact mode: every candidate feature is sorted and the best weighted
+//    Gini split chosen (classic CART, used by DecisionForest and as the
+//    AdaBoost base learner);
+//  - random-threshold mode: one uniform threshold per candidate feature
+//    (Extremely Randomized Trees).
+// Per-node feature subsampling (`max_features`) supports both forests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace rush::ml {
+
+struct TreeConfig {
+  int max_depth = 18;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Candidate features per node; 0 means all features.
+  std::size_t max_features = 0;
+  /// Extra-trees style uniform random thresholds instead of exact search.
+  bool random_thresholds = false;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {});
+
+  void fit(const Dataset& data, std::span<const double> sample_weights = {}) override;
+  [[nodiscard]] int predict(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<double> predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
+  [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
+  [[nodiscard]] bool is_fitted() const noexcept override { return !nodes_.empty(); }
+  [[nodiscard]] std::string type_name() const override { return "decision_tree"; }
+  [[nodiscard]] std::vector<double> feature_importances() const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone_config() const override;
+  void save_body(std::ostream& os) const override;
+  void load_body(std::istream& is) override;
+
+  [[nodiscard]] const TreeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int depth() const noexcept;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::vector<double> proba;  // leaf only: per-class probability
+  };
+
+  struct SplitResult {
+    bool found = false;
+    int feature = -1;
+    double threshold = 0.0;
+    double impurity_decrease = 0.0;
+  };
+
+  std::int32_t build(const Dataset& data, std::span<const double> weights,
+                     std::vector<std::size_t>& indices, int depth, Rng& rng);
+  SplitResult find_split(const Dataset& data, std::span<const double> weights,
+                         const std::vector<std::size_t>& indices, Rng& rng) const;
+  std::int32_t make_leaf(const Dataset& data, std::span<const double> weights,
+                         const std::vector<std::size_t>& indices);
+
+  TreeConfig config_;
+  int num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::vector<Node> nodes_;               // nodes_[0] is the root when fitted
+  std::vector<double> importances_;       // accumulated impurity decrease
+};
+
+}  // namespace rush::ml

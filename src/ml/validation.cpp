@@ -1,0 +1,114 @@
+#include "ml/validation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace rush::ml {
+
+double CvResult::mean_f1() const noexcept {
+  if (folds.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& f : folds) s += f.f1;
+  return s / static_cast<double>(folds.size());
+}
+
+double CvResult::mean_accuracy() const noexcept {
+  if (folds.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& f : folds) s += f.accuracy;
+  return s / static_cast<double>(folds.size());
+}
+
+double CvResult::mean_macro_f1() const noexcept {
+  if (folds.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& f : folds) s += f.macro_f1;
+  return s / static_cast<double>(folds.size());
+}
+
+std::vector<std::vector<std::size_t>> stratified_kfold(const std::vector<int>& labels,
+                                                       std::size_t k, Rng& rng) {
+  RUSH_EXPECTS(k >= 2);
+  RUSH_EXPECTS(labels.size() >= k);
+
+  // Bucket rows by class, shuffle each bucket, then deal round-robin.
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  std::vector<std::vector<std::size_t>> folds(k);
+  std::size_t next_fold = 0;
+  for (auto& [label, rows] : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t r : rows) {
+      folds[next_fold].push_back(r);
+      next_fold = (next_fold + 1) % k;
+    }
+  }
+  return folds;
+}
+
+std::vector<std::vector<std::size_t>> leave_one_group_out(const std::vector<int>& groups) {
+  RUSH_EXPECTS(!groups.empty());
+  std::map<int, std::vector<std::size_t>> by_group;
+  for (std::size_t i = 0; i < groups.size(); ++i) by_group[groups[i]].push_back(i);
+  RUSH_EXPECTS(by_group.size() >= 2);
+  std::vector<std::vector<std::size_t>> folds;
+  folds.reserve(by_group.size());
+  for (auto& [group, rows] : by_group) folds.push_back(std::move(rows));
+  return folds;
+}
+
+CvResult cross_validate(const Classifier& prototype, const Dataset& data,
+                        const std::vector<std::vector<std::size_t>>& test_folds) {
+  RUSH_EXPECTS(!data.empty());
+  RUSH_EXPECTS(!test_folds.empty());
+
+  for (const auto& fold : test_folds)
+    for (std::size_t r : fold) RUSH_EXPECTS(r < data.rows());
+
+  CvResult result;
+  result.folds.resize(test_folds.size());
+
+  // Folds are independent; fit/score them in parallel. Each iteration
+  // writes only its own slot, and clones/datasets are thread-private.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t fold = 0; fold < test_folds.size(); ++fold) {
+    const auto& test_rows = test_folds[fold];
+    std::vector<bool> in_test(data.rows(), false);
+    for (std::size_t r : test_rows) in_test[r] = true;
+    std::vector<std::size_t> train_rows;
+    train_rows.reserve(data.rows() - test_rows.size());
+    for (std::size_t i = 0; i < data.rows(); ++i)
+      if (!in_test[i]) train_rows.push_back(i);
+    RUSH_EXPECTS(!train_rows.empty());
+
+    const Dataset train = data.subset(train_rows);
+    auto model = prototype.clone_config();
+    model->fit(train);
+
+    std::vector<int> y_true, y_pred;
+    y_true.reserve(test_rows.size());
+    y_pred.reserve(test_rows.size());
+    for (std::size_t r : test_rows) {
+      y_true.push_back(data.label(r));
+      y_pred.push_back(model->predict(data.row(r)));
+    }
+
+    int k = std::max(2, data.num_classes());
+    for (int y : y_pred) k = std::max(k, y + 1);
+    const ConfusionMatrix cm(y_true, y_pred, k);
+    FoldScores scores;
+    scores.f1 = cm.f1(1);
+    scores.precision = cm.precision(1);
+    scores.recall = cm.recall(1);
+    scores.accuracy = cm.accuracy();
+    scores.macro_f1 = cm.macro_f1();
+    scores.test_size = test_rows.size();
+    result.folds[fold] = scores;
+  }
+  return result;
+}
+
+}  // namespace rush::ml

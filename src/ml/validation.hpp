@@ -1,0 +1,51 @@
+// Cross-validation utilities (paper §IV-A, §VI-B).
+//
+// Two splitting schemes are used by the pipeline:
+//  - stratified k-fold, preserving the (imbalanced) label ratio per fold;
+//  - leave-one-group-out, where a group is an application — the paper's
+//    "split the data using six applications for training and one for
+//    validation ... over every possible partitioning".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace rush::ml {
+
+/// Per-fold evaluation scores. f1/precision/recall treat label 1 as the
+/// positive ("variation") class; macro_f1 averages across all classes.
+struct FoldScores {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  std::size_t test_size = 0;
+};
+
+struct CvResult {
+  std::vector<FoldScores> folds;
+  [[nodiscard]] double mean_f1() const noexcept;
+  [[nodiscard]] double mean_accuracy() const noexcept;
+  [[nodiscard]] double mean_macro_f1() const noexcept;
+};
+
+/// Test-row indices for each of `k` stratified folds. Every row appears in
+/// exactly one fold; per-class counts differ by at most one across folds.
+std::vector<std::vector<std::size_t>> stratified_kfold(const std::vector<int>& labels,
+                                                       std::size_t k, Rng& rng);
+
+/// One fold per distinct group id; fold i holds the rows of group i
+/// (ascending group order).
+std::vector<std::vector<std::size_t>> leave_one_group_out(const std::vector<int>& groups);
+
+/// Train a fresh clone of `prototype` on the complement of each test fold
+/// and score it on the fold.
+CvResult cross_validate(const Classifier& prototype, const Dataset& data,
+                        const std::vector<std::vector<std::size_t>>& test_folds);
+
+}  // namespace rush::ml

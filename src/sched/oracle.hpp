@@ -1,0 +1,34 @@
+// Variability oracle interface: the M(j, S) of Algorithm 2.
+//
+// The scheduler is decoupled from the ML pipeline through this interface;
+// core/RushOracle implements it with the trained model over live
+// telemetry, while tests plug in scripted oracles.
+#pragma once
+
+#include "cluster/topology.hpp"
+#include "sched/job.hpp"
+
+namespace rush::sched {
+
+/// The production model's three output classes (paper §IV-A): run time
+/// within 1.2 sigma of the application mean, between 1.2 and 1.5 sigma,
+/// or beyond 1.5 sigma.
+enum class VariabilityPrediction : std::uint8_t {
+  NoVariation = 0,
+  LittleVariation = 1,
+  Variation = 2,
+};
+
+const char* prediction_name(VariabilityPrediction p) noexcept;
+
+class VariabilityOracle {
+ public:
+  virtual ~VariabilityOracle() = default;
+
+  /// Predict whether launching `job` right now on `candidate_nodes` would
+  /// experience run-time variation.
+  [[nodiscard]] virtual VariabilityPrediction predict(const Job& job,
+                                                      const cluster::NodeSet& candidate_nodes) = 0;
+};
+
+}  // namespace rush::sched

@@ -1,0 +1,13 @@
+#include "sched/policy.hpp"
+
+#include "common/error.hpp"
+
+namespace rush::sched {
+
+std::unique_ptr<QueuePolicyBase> make_policy(const std::string& name) {
+  if (name == "fcfs") return std::make_unique<FcfsPolicy>();
+  if (name == "sjf") return std::make_unique<SjfPolicy>();
+  throw ParseError("unknown queue policy '" + name + "'");
+}
+
+}  // namespace rush::sched

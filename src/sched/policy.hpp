@@ -1,0 +1,48 @@
+// Queue ordering policies (the R1 / R2 inputs of Algorithm 1).
+//
+// Mirrors the Flux class structure the paper modifies: a
+// queue_policy_base_t-style interface with FCFS and SJF orderings. The
+// RUSH behaviour itself is not an ordering — it lives in the scheduler's
+// Start() hook (Algorithm 2) — so any pair of these policies composes
+// with it, exactly as the paper claims.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/job.hpp"
+
+namespace rush::sched {
+
+class QueuePolicyBase {
+ public:
+  virtual ~QueuePolicyBase() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Strict weak ordering: true when `a` should run before `b`.
+  [[nodiscard]] virtual bool before(const Job& a, const Job& b) const = 0;
+};
+
+/// First-come first-served: submit time, job id as tie-break.
+class FcfsPolicy final : public QueuePolicyBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "fcfs"; }
+  [[nodiscard]] bool before(const Job& a, const Job& b) const override {
+    if (a.submit_s != b.submit_s) return a.submit_s < b.submit_s;
+    return a.id < b.id;
+  }
+};
+
+/// Shortest job first by user walltime estimate.
+class SjfPolicy final : public QueuePolicyBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "sjf"; }
+  [[nodiscard]] bool before(const Job& a, const Job& b) const override {
+    if (a.spec.walltime_estimate_s != b.spec.walltime_estimate_s)
+      return a.spec.walltime_estimate_s < b.spec.walltime_estimate_s;
+    return a.id < b.id;
+  }
+};
+
+std::unique_ptr<QueuePolicyBase> make_policy(const std::string& name);
+
+}  // namespace rush::sched

@@ -1,0 +1,294 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rush::sched {
+
+const char* prediction_name(VariabilityPrediction p) noexcept {
+  switch (p) {
+    case VariabilityPrediction::NoVariation:
+      return "no-variation";
+    case VariabilityPrediction::LittleVariation:
+      return "little-variation";
+    case VariabilityPrediction::Variation:
+      return "variation";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
+                     apps::ExecutionModel& execution,
+                     std::unique_ptr<QueuePolicyBase> main_policy,
+                     std::unique_ptr<QueuePolicyBase> backfill_policy, SchedulerConfig config,
+                     VariabilityOracle* oracle)
+    : engine_(engine), allocator_(allocator), execution_(execution),
+      main_policy_(std::move(main_policy)), backfill_policy_(std::move(backfill_policy)),
+      config_(config), oracle_(oracle) {
+  RUSH_EXPECTS(main_policy_ != nullptr);
+  RUSH_EXPECTS(backfill_policy_ != nullptr);
+  RUSH_EXPECTS(!config_.rush_enabled || oracle_ != nullptr);
+  RUSH_EXPECTS(config_.retry_period_s > 0.0);
+}
+
+void Scheduler::insert_in_queue(JobId id) {
+  const Job& job = jobs_.at(id);
+  const auto pos = std::find_if(queue_.begin(), queue_.end(), [&](JobId other) {
+    return main_policy_->before(job, jobs_.at(other));
+  });
+  queue_.insert(pos, id);
+}
+
+JobId Scheduler::submit(JobSpec spec) {
+  RUSH_EXPECTS(spec.num_nodes > 0);
+  RUSH_EXPECTS(spec.num_nodes <= allocator_.managed_count());
+  RUSH_EXPECTS(spec.walltime_estimate_s > 0.0);
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  job.submit_s = engine_.now();
+  jobs_.emplace(id, std::move(job));
+  submit_order_.push_back(id);
+  insert_in_queue(id);
+  schedule_pass();
+  return id;
+}
+
+JobId Scheduler::submit_at(sim::Time when, JobSpec spec) {
+  RUSH_EXPECTS(when >= engine_.now());
+  // Reserve the id now so callers can correlate, but enqueue at `when`.
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  RUSH_EXPECTS(job.spec.num_nodes > 0);
+  RUSH_EXPECTS(job.spec.num_nodes <= allocator_.managed_count());
+  RUSH_EXPECTS(job.spec.walltime_estimate_s > 0.0);
+  jobs_.emplace(id, std::move(job));
+  engine_.schedule_at(when, [this, id] {
+    Job& j = jobs_.at(id);
+    j.submit_s = engine_.now();
+    submit_order_.push_back(id);
+    insert_in_queue(id);
+    schedule_pass();
+  });
+  return id;
+}
+
+const Job& Scheduler::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  RUSH_EXPECTS(it != jobs_.end());
+  return it->second;
+}
+
+std::vector<const Job*> Scheduler::all_jobs() const {
+  std::vector<const Job*> out;
+  out.reserve(submit_order_.size());
+  for (JobId id : submit_order_) out.push_back(&jobs_.at(id));
+  return out;
+}
+
+std::vector<const Job*> Scheduler::completed_jobs() const {
+  std::vector<const Job*> out;
+  out.reserve(completed_order_.size());
+  for (JobId id : completed_order_) out.push_back(&jobs_.at(id));
+  return out;
+}
+
+double Scheduler::makespan() const noexcept {
+  if (completed_order_.empty() || submit_order_.empty()) return 0.0;
+  double first_submit = std::numeric_limits<double>::max();
+  for (JobId id : submit_order_) first_submit = std::min(first_submit, jobs_.at(id).submit_s);
+  double last_end = 0.0;
+  for (JobId id : completed_order_) last_end = std::max(last_end, jobs_.at(id).end_s);
+  return last_end - first_submit;
+}
+
+Scheduler::Reservation Scheduler::compute_reservation(const Job& job) const {
+  // Expected frees, using user walltime estimates (clamped so overrunning
+  // jobs free "now" at the earliest).
+  std::vector<std::pair<sim::Time, int>> frees;
+  frees.reserve(running_.size());
+  const sim::Time now = engine_.now();
+  for (JobId id : running_) {
+    const Job& r = jobs_.at(id);
+    const sim::Time end_est = std::max(now, r.start_s + r.spec.walltime_estimate_s);
+    frees.emplace_back(end_est, static_cast<int>(r.nodes.size()));
+  }
+  std::sort(frees.begin(), frees.end());
+
+  int free = allocator_.free_count();
+  for (const auto& [t, n] : frees) {
+    free += n;
+    if (free >= job.spec.num_nodes)
+      return Reservation{t, free - job.spec.num_nodes};
+  }
+  // Job fits the machine when idle (precondition on submit), so with no
+  // running jobs we can only get here if free already sufficed — treat as
+  // "now" (the caller only reaches this when the job did not fit, which
+  // implies running jobs exist).
+  return Reservation{now, std::max(0, free - job.spec.num_nodes)};
+}
+
+Scheduler::StartOutcome Scheduler::try_start(JobId id, bool via_backfill) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Pending);
+
+  // A recently delayed job stays delayed without re-running the model;
+  // see SchedulerConfig::min_reconsider_interval_s.
+  if (config_.rush_enabled && job.last_delay_s >= 0.0 &&
+      engine_.now() - job.last_delay_s < config_.min_reconsider_interval_s) {
+    return StartOutcome::Delayed;
+  }
+
+  auto nodes = allocator_.allocate(job.spec.num_nodes);
+  if (!nodes) return StartOutcome::NoResources;
+
+  // Algorithm 2: Start(j, Q, M, S, SkipTable).
+  if (config_.rush_enabled && job.skip_count < job.spec.skip_threshold) {
+    const VariabilityPrediction pred = oracle_->predict(job, *nodes);
+    const bool delay =
+        (pred == VariabilityPrediction::Variation && config_.delay_on_variation) ||
+        (pred == VariabilityPrediction::LittleVariation && config_.delay_on_little_variation);
+    if (delay) {
+      allocator_.release(*nodes);
+      ++job.skip_count;
+      ++total_skips_;
+      job.last_delay_s = engine_.now();
+      return StartOutcome::Delayed;
+    }
+  }
+
+  launch(job, std::move(*nodes), via_backfill);
+  return StartOutcome::Launched;
+}
+
+void Scheduler::launch(Job& job, cluster::NodeSet nodes, bool via_backfill) {
+  const auto in_queue = std::find(queue_.begin(), queue_.end(), job.id);
+  RUSH_ASSERT(in_queue != queue_.end());
+  queue_.erase(in_queue);
+
+  job.state = JobState::Running;
+  job.start_s = engine_.now();
+  job.nodes = std::move(nodes);
+  job.backfilled = via_backfill;
+  running_.insert(job.id);
+
+  const JobId id = job.id;
+  job.run_id = execution_.launch(job.spec.app, job.nodes, job.spec.scaling,
+                                 [this, id](const apps::RunRecord& record) {
+                                   handle_completion(id, record);
+                                 });
+  if (start_hook_) start_hook_(job);
+}
+
+void Scheduler::handle_completion(JobId id, const apps::RunRecord& record) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Running);
+  allocator_.release(job.nodes);
+  job.state = JobState::Completed;
+  job.end_s = engine_.now();
+  job.record = record;
+  running_.erase(id);
+  completed_order_.push_back(id);
+  if (complete_hook_) complete_hook_(job);
+  schedule_pass();
+}
+
+void Scheduler::apply_skip_placement(JobId id) {
+  if (config_.skip_placement != SkipPlacement::AfterFront) return;
+  // Pseudocode reading: "push j after front of Q".
+  if (queue_.size() >= 2 && queue_.front() == id) std::swap(queue_[0], queue_[1]);
+}
+
+void Scheduler::arm_retry() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  engine_.schedule_after(config_.retry_period_s, [this] {
+    retry_armed_ = false;
+    schedule_pass();
+  });
+}
+
+void Scheduler::schedule_pass() {
+  if (in_pass_) {
+    pass_requested_ = true;
+    return;
+  }
+  in_pass_ = true;
+  do {
+    pass_requested_ = false;
+    ++passes_;
+    bool any_delayed = false;
+
+    // Walk a snapshot: starts mutate queue_, and jobs delayed in this pass
+    // must not be reconsidered until the next pass.
+    const std::vector<JobId> snapshot = queue_;
+    std::unordered_set<JobId> delayed_this_pass;
+
+    for (std::size_t qi = 0; qi < snapshot.size(); ++qi) {
+      const JobId id = snapshot[qi];
+      const auto it = jobs_.find(id);
+      RUSH_ASSERT(it != jobs_.end());
+      Job& job = it->second;
+      if (job.state != JobState::Pending) continue;
+
+      if (allocator_.can_allocate(job.spec.num_nodes)) {
+        const StartOutcome outcome = try_start(id, /*via_backfill=*/false);
+        RUSH_ASSERT(outcome != StartOutcome::NoResources);
+        if (outcome == StartOutcome::Delayed) {
+          any_delayed = true;
+          delayed_this_pass.insert(id);
+          apply_skip_placement(id);
+        }
+        continue;
+      }
+
+      // Reservation for the first job that does not fit (Algorithm 1,
+      // lines 7-16), then EASY backfill of the rest in R2 order.
+      if (config_.enable_backfill) {
+        const Reservation res = compute_reservation(job);
+        std::vector<JobId> candidates;
+        for (JobId c : queue_) {
+          if (c == id || delayed_this_pass.contains(c)) continue;
+          if (jobs_.at(c).state == JobState::Pending) candidates.push_back(c);
+        }
+        std::sort(candidates.begin(), candidates.end(), [&](JobId a, JobId b) {
+          return backfill_policy_->before(jobs_.at(a), jobs_.at(b));
+        });
+
+        int free_now = allocator_.free_count();
+        int spare = res.spare_nodes;
+        const sim::Time now = engine_.now();
+        for (JobId c : candidates) {
+          Job& cand = jobs_.at(c);
+          if (cand.spec.num_nodes > free_now) continue;
+          const bool ends_before_reservation =
+              now + cand.spec.walltime_estimate_s <= res.at;
+          const bool fits_in_spare = cand.spec.num_nodes <= spare;
+          if (!ends_before_reservation && !fits_in_spare) continue;
+
+          const StartOutcome outcome = try_start(c, /*via_backfill=*/true);
+          if (outcome == StartOutcome::Launched) {
+            free_now -= cand.spec.num_nodes;
+            if (!ends_before_reservation) spare -= cand.spec.num_nodes;
+          } else if (outcome == StartOutcome::Delayed) {
+            any_delayed = true;
+            delayed_this_pass.insert(c);
+          }
+        }
+      }
+      break;  // only the head non-fitting job gets a reservation
+    }
+
+    // Delayed jobs would deadlock if no completion ever triggers another
+    // pass; re-arm a timer pass whenever any delay happened.
+    if (any_delayed) arm_retry();
+  } while (pass_requested_);
+  in_pass_ = false;
+}
+
+}  // namespace rush::sched

@@ -1,0 +1,138 @@
+// Batch scheduler: FCFS(+EASY) baseline and the RUSH modification.
+//
+// Algorithm 1 (paper §IV-B): each scheduling pass walks the queue in R1
+// order, starting every job that fits; the first job that does not fit
+// gets a reservation at the earliest time enough nodes free up, and the
+// remaining jobs are EASY-backfilled in R2 order if they neither exceed
+// the free nodes nor delay the reservation.
+//
+// Algorithm 2: Start(j) consults the variability oracle when RUSH is
+// enabled; a job predicted to vary (and still under its skip threshold)
+// is put back on the queue instead of launched. The skipped job keeps its
+// place at the head of the queue ("remains at the top", the prose
+// reading) or moves one slot back ("push after front", the pseudocode
+// reading) depending on SkipPlacement.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/execution.hpp"
+#include "cluster/allocator.hpp"
+#include "sched/job.hpp"
+#include "sched/oracle.hpp"
+#include "sched/policy.hpp"
+
+namespace rush::sched {
+
+enum class SkipPlacement : std::uint8_t { Front, AfterFront };
+
+struct SchedulerConfig {
+  bool enable_backfill = true;  // EASY
+  /// Consult the oracle in Start() (Algorithm 2). Requires an oracle.
+  bool rush_enabled = false;
+  /// Predictions that cause a delay ("variation labels" in Algorithm 2).
+  bool delay_on_little_variation = false;
+  bool delay_on_variation = true;
+  SkipPlacement skip_placement = SkipPlacement::Front;
+  /// A pass that delays jobs while nothing is running re-arms itself
+  /// after this long so delayed jobs cannot stall the system.
+  double retry_period_s = 30.0;
+  /// Minimum spacing between oracle evaluations for one job. Scheduling
+  /// passes can fire every few seconds under churn; within this window a
+  /// previously delayed job stays delayed without re-running the model
+  /// (and without consuming another skip), so the skip threshold spans a
+  /// congestion episode rather than a burst of scheduler passes.
+  double min_reconsider_interval_s = 90.0;
+};
+
+class Scheduler {
+ public:
+  using JobEventFn = std::function<void(const Job&)>;
+
+  /// The oracle may be null unless rush_enabled. All references must
+  /// outlive the scheduler.
+  Scheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
+            apps::ExecutionModel& execution, std::unique_ptr<QueuePolicyBase> main_policy,
+            std::unique_ptr<QueuePolicyBase> backfill_policy, SchedulerConfig config,
+            VariabilityOracle* oracle = nullptr);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submit a job now; triggers a scheduling pass.
+  JobId submit(JobSpec spec);
+  /// Submit at a future simulated time.
+  JobId submit_at(sim::Time when, JobSpec spec);
+
+  /// Optional hooks, fired on job start / completion.
+  void on_start(JobEventFn fn) { start_hook_ = std::move(fn); }
+  void on_complete(JobEventFn fn) { complete_hook_ = std::move(fn); }
+
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
+  [[nodiscard]] std::size_t completed_count() const noexcept { return completed_order_.size(); }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty() && running_.empty(); }
+
+  /// Ids of pending jobs in current queue order (head first).
+  [[nodiscard]] std::vector<JobId> queued_jobs() const { return queue_; }
+  /// All jobs ever submitted, in submission order.
+  [[nodiscard]] std::vector<const Job*> all_jobs() const;
+  /// Completed jobs in completion order.
+  [[nodiscard]] std::vector<const Job*> completed_jobs() const;
+
+  /// Duration from first submission to last completion; 0 before any
+  /// completion.
+  [[nodiscard]] double makespan() const noexcept;
+
+  /// Total Algorithm-2 delays issued across all jobs.
+  [[nodiscard]] std::uint64_t total_skips() const noexcept { return total_skips_; }
+  [[nodiscard]] std::uint64_t passes_run() const noexcept { return passes_; }
+
+  /// Run one scheduling pass now (normally driven by submit/complete).
+  void schedule_pass();
+
+ private:
+  /// Outcome of trying to launch one queued job (Algorithm 2).
+  enum class StartOutcome { Launched, Delayed, NoResources };
+
+  StartOutcome try_start(JobId id, bool via_backfill);
+  void launch(Job& job, cluster::NodeSet nodes, bool via_backfill);
+  void handle_completion(JobId id, const apps::RunRecord& record);
+  void insert_in_queue(JobId id);
+  void apply_skip_placement(JobId id);
+  void arm_retry();
+
+  struct Reservation {
+    sim::Time at = 0.0;
+    int spare_nodes = 0;  // nodes free at reservation time beyond the job's need
+  };
+  [[nodiscard]] Reservation compute_reservation(const Job& job) const;
+
+  sim::Engine& engine_;
+  cluster::NodeAllocator& allocator_;
+  apps::ExecutionModel& execution_;
+  std::unique_ptr<QueuePolicyBase> main_policy_;
+  std::unique_ptr<QueuePolicyBase> backfill_policy_;
+  SchedulerConfig config_;
+  VariabilityOracle* oracle_;
+
+  JobId next_id_ = 1;
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> submit_order_;
+  std::vector<JobId> queue_;  // pending, in R1 order
+  std::unordered_set<JobId> running_;
+  std::vector<JobId> completed_order_;
+  std::uint64_t total_skips_ = 0;
+  std::uint64_t passes_ = 0;
+  bool in_pass_ = false;
+  bool pass_requested_ = false;
+  bool retry_armed_ = false;
+  JobEventFn start_hook_;
+  JobEventFn complete_hook_;
+};
+
+}  // namespace rush::sched

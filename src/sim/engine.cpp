@@ -1,0 +1,110 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rush::sim {
+
+void Engine::push_event(Time t, EventId id, std::function<void()> fn) {
+  queue_.push(Event{t, id, std::move(fn)});
+  queued_.insert(id);
+}
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  RUSH_EXPECTS(t >= now_);
+  RUSH_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  push_event(t, id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(Time dt, std::function<void()> fn) {
+  RUSH_EXPECTS(dt >= 0.0);
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+void Engine::arm_periodic(EventId id, Time t, Time period, std::function<void()> fn) {
+  // The queued occurrence reuses the task id so cancel() finds it directly;
+  // the queue holds at most one occurrence per task at a time.
+  push_event(t, id, [this, id, period, fn = std::move(fn)] {
+    fn();
+    if (periodic_.contains(id)) arm_periodic(id, now_ + period, period, fn);
+  });
+}
+
+EventId Engine::schedule_periodic(Time start, Time period, std::function<void()> fn) {
+  RUSH_EXPECTS(start >= now_);
+  RUSH_EXPECTS(period > 0.0);
+  RUSH_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  periodic_.insert(id);
+  arm_periodic(id, start, period, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  const bool was_periodic = periodic_.erase(id) > 0;
+  if (queued_.contains(id)) {
+    queued_.erase(id);
+    cancelled_.insert(id);
+    return true;
+  }
+  // A periodic task cancelled from inside its own callback has no queued
+  // occurrence yet; erasing it from periodic_ above stops the re-arm.
+  return was_periodic;
+}
+
+bool Engine::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the handler is moved out via
+    // const_cast, which is safe because pop() follows immediately.
+    Event& top = const_cast<Event&>(queue_.top());
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    out.t = top.t;
+    out.id = top.id;
+    out.fn = std::move(top.fn);
+    queue_.pop();
+    queued_.erase(out.id);
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  RUSH_ASSERT(ev.t >= now_);
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time t_end) {
+  RUSH_EXPECTS(t_end >= now_);
+  while (!queue_.empty()) {
+    // Peek through cancelled events to find the next live timestamp.
+    Event ev;
+    if (!pop_next(ev)) break;
+    if (ev.t > t_end) {
+      // Put it back; it belongs to the future beyond this horizon.
+      push_event(ev.t, ev.id, std::move(ev.fn));
+      break;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
+  now_ = t_end;
+}
+
+}  // namespace rush::sim

@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// The whole RUSH reproduction runs on simulated time: the cluster, the
+// telemetry samplers, job execution, and the scheduler are all event
+// handlers on one Engine. Events at equal timestamps fire in scheduling
+// order (FIFO), which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace rush::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Handle for a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event engine with cancellable events and
+/// periodic tasks.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t`. Requires t >= now().
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay. Requires dt >= 0.
+  EventId schedule_after(Time dt, std::function<void()> fn);
+
+  /// Schedule `fn` every `period` seconds starting at `start`. The task
+  /// keeps rescheduling itself until cancelled. Requires period > 0 and
+  /// start >= now().
+  EventId schedule_periodic(Time start, Time period, std::function<void()> fn);
+
+  /// Cancel a pending event (or periodic task). Returns false if the event
+  /// already fired or was never scheduled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run events with timestamp <= t_end, then advance the clock to t_end
+  /// (even if the queue drains early). Requires t_end >= now().
+  void run_until(Time t_end);
+
+  /// Execute exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  /// Number of live (non-cancelled) events currently queued.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queued_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  void push_event(Time t, EventId id, std::function<void()> fn);
+  bool pop_next(Event& out);
+  void arm_periodic(EventId id, Time t, Time period, std::function<void()> fn);
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> queued_;     // live events in queue_
+  std::unordered_set<EventId> cancelled_;  // lazily removed on pop
+  std::unordered_set<EventId> periodic_;   // active periodic task ids
+};
+
+}  // namespace rush::sim

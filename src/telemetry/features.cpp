@@ -1,0 +1,71 @@
+#include "telemetry/features.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/schema.hpp"
+
+namespace rush::telemetry {
+
+const char* workload_class_name(WorkloadClass cls) noexcept {
+  switch (cls) {
+    case WorkloadClass::Compute:
+      return "compute";
+    case WorkloadClass::Network:
+      return "network";
+    case WorkloadClass::Io:
+      return "io";
+  }
+  return "?";
+}
+
+FeatureAssembler::FeatureAssembler(const CounterStore& store, double window_s)
+    : store_(store), window_s_(window_s) {
+  RUSH_EXPECTS(window_s_ > 0.0);
+  RUSH_EXPECTS(store_.num_counters() * 3 == kCounterFeatures);
+}
+
+std::vector<std::string> FeatureAssembler::feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kNumFeatures);
+  for (const CounterDef& def : counter_schema()) {
+    const std::string q = qualified_name(def);
+    names.push_back("min_" + q);
+    names.push_back("max_" + q);
+    names.push_back("mean_" + q);
+  }
+  for (const char* bench : {"send", "recv", "allreduce"}) {
+    for (const char* agg : {"min", "max", "mean"}) {
+      names.push_back(std::string("canary_") + bench + "_" + agg);
+    }
+  }
+  names.emplace_back("class_compute");
+  names.emplace_back("class_network");
+  names.emplace_back("class_io");
+  RUSH_ASSERT(names.size() == kNumFeatures);
+  return names;
+}
+
+std::vector<double> FeatureAssembler::assemble(sim::Time now, AggregationScope scope,
+                                               const cluster::NodeSet& job_nodes,
+                                               const CanaryResult& canary,
+                                               WorkloadClass cls) const {
+  const sim::Time t0 = now - window_s_;
+  const std::vector<Agg> aggs = scope == AggregationScope::AllNodes
+                                    ? store_.aggregate_all(t0, now)
+                                    : store_.aggregate_nodes(t0, now, job_nodes);
+
+  std::vector<double> out;
+  out.reserve(kNumFeatures);
+  for (const Agg& a : aggs) {
+    out.push_back(a.min);
+    out.push_back(a.max);
+    out.push_back(a.mean);
+  }
+  for (double f : canary.features()) out.push_back(f);
+  out.push_back(cls == WorkloadClass::Compute ? 1.0 : 0.0);
+  out.push_back(cls == WorkloadClass::Network ? 1.0 : 0.0);
+  out.push_back(cls == WorkloadClass::Io ? 1.0 : 0.0);
+  RUSH_ASSERT(out.size() == kNumFeatures);
+  return out;
+}
+
+}  // namespace rush::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/sampler.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/schema.hpp"
+
+namespace rush::telemetry {
+
+CounterSampler::CounterSampler(sim::Engine& engine, const cluster::NetworkModel& net,
+                               const cluster::LustreModel& lustre, CounterStore& store,
+                               SamplerConfig config, Rng rng)
+    : engine_(engine), net_(net), lustre_(lustre), store_(store), config_(config), rng_(rng) {
+  RUSH_EXPECTS(config_.period_s > 0.0);
+  RUSH_EXPECTS(store_.num_counters() == num_counters());
+  scratch_.resize(store_.managed_nodes().size() * store_.num_counters());
+}
+
+void CounterSampler::start() {
+  if (running_) return;
+  running_ = true;
+  task_ = engine_.schedule_periodic(engine_.now(), config_.period_s, [this] { sample_now(); });
+}
+
+void CounterSampler::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(task_);
+}
+
+void CounterSampler::sample_now() {
+  const auto schema = counter_schema();
+  const auto& tree = net_.tree();
+  const auto& nodes = store_.managed_nodes();
+  const double io_pressure = lustre_.slowdown() - 1.0;
+
+  float* out = scratch_.data();
+  for (cluster::NodeId node : nodes) {
+    NodeSignals s;
+    s.xmit_gbps = net_.node_xmit_gbps(node);
+    s.recv_gbps = net_.node_recv_gbps(node);
+    s.edge_util = net_.link_utilization(tree.edge_uplink(tree.edge_of(node)));
+    s.pod_util = net_.link_utilization(tree.pod_uplink(tree.pod_of(node)));
+    s.io_read_gbps = lustre_.node_read_gbps(node);
+    s.io_write_gbps = lustre_.node_write_gbps(node);
+    s.io_pressure = io_pressure;
+    for (const CounterDef& def : schema)
+      *out++ = static_cast<float>(synth_value(def, s, rng_));
+  }
+  store_.add_frame(engine_.now(), scratch_);
+}
+
+}  // namespace rush::telemetry

@@ -1,0 +1,48 @@
+// Periodic counter sampler (the LDMS daemon stand-in).
+//
+// Every `period_s` of simulated time it snapshots the network/filesystem
+// state for each managed node, synthesizes the 90-counter frame, and
+// appends it to the CounterStore. Sampling can be paused when no consumer
+// needs data (the longitudinal collector fast-forwards between control
+// jobs), which keeps multi-month simulations cheap.
+#pragma once
+
+#include "cluster/lustre.hpp"
+#include "cluster/network.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/store.hpp"
+
+namespace rush::telemetry {
+
+struct SamplerConfig {
+  double period_s = 30.0;
+};
+
+class CounterSampler {
+ public:
+  CounterSampler(sim::Engine& engine, const cluster::NetworkModel& net,
+                 const cluster::LustreModel& lustre, CounterStore& store, SamplerConfig config,
+                 Rng rng);
+
+  /// Begin periodic sampling; the first frame is captured immediately.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Capture one frame right now regardless of running state.
+  void sample_now();
+
+ private:
+  sim::Engine& engine_;
+  const cluster::NetworkModel& net_;
+  const cluster::LustreModel& lustre_;
+  CounterStore& store_;
+  SamplerConfig config_;
+  Rng rng_;
+  sim::EventId task_ = 0;
+  bool running_ = false;
+  std::vector<float> scratch_;
+};
+
+}  // namespace rush::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/store.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rush::telemetry {
+
+CounterStore::CounterStore(cluster::NodeSet managed, std::size_t num_counters,
+                           std::size_t capacity_frames)
+    : managed_(std::move(managed)), num_counters_(num_counters),
+      capacity_frames_(capacity_frames) {
+  RUSH_EXPECTS(!managed_.empty());
+  RUSH_EXPECTS(std::is_sorted(managed_.begin(), managed_.end()));
+  RUSH_EXPECTS(num_counters_ > 0);
+  RUSH_EXPECTS(capacity_frames_ > 0);
+}
+
+std::size_t CounterStore::node_index(cluster::NodeId node) const {
+  const auto it = std::lower_bound(managed_.begin(), managed_.end(), node);
+  RUSH_EXPECTS(it != managed_.end() && *it == node);
+  return static_cast<std::size_t>(it - managed_.begin());
+}
+
+void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
+  RUSH_EXPECTS(values.size() == managed_.size() * num_counters_);
+  RUSH_EXPECTS(frames_.empty() || t >= frames_.back().t);
+
+  Frame frame;
+  frame.t = t;
+  frame.values.assign(values.begin(), values.end());
+  frame.all_min.assign(num_counters_, std::numeric_limits<float>::max());
+  frame.all_max.assign(num_counters_, std::numeric_limits<float>::lowest());
+  frame.all_sum.assign(num_counters_, 0.0);
+  const float* row = frame.values.data();
+  for (std::size_t n = 0; n < managed_.size(); ++n, row += num_counters_) {
+    for (std::size_t c = 0; c < num_counters_; ++c) {
+      const float v = row[c];
+      frame.all_min[c] = std::min(frame.all_min[c], v);
+      frame.all_max[c] = std::max(frame.all_max[c], v);
+      frame.all_sum[c] += static_cast<double>(v);
+    }
+  }
+  frames_.push_back(std::move(frame));
+  while (frames_.size() > capacity_frames_) frames_.pop_front();
+}
+
+std::size_t CounterStore::frames_in(sim::Time t0, sim::Time t1) const noexcept {
+  std::size_t n = 0;
+  for (const Frame& f : frames_)
+    if (f.t >= t0 && f.t <= t1) ++n;
+  return n;
+}
+
+std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
+                                               const cluster::NodeSet& nodes) const {
+  std::vector<Agg> out(num_counters_);
+  std::vector<std::size_t> idx;
+  idx.reserve(nodes.size());
+  for (cluster::NodeId n : nodes) idx.push_back(node_index(n));
+
+  std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
+  std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
+  std::vector<double> sums(num_counters_, 0.0);
+  std::size_t samples = 0;
+
+  for (const Frame& f : frames_) {
+    if (f.t < t0 || f.t > t1) continue;
+    ++samples;
+    for (const std::size_t ni : idx) {
+      const float* row = f.values.data() + ni * num_counters_;
+      for (std::size_t c = 0; c < num_counters_; ++c) {
+        const double v = static_cast<double>(row[c]);
+        mins[c] = std::min(mins[c], v);
+        maxs[c] = std::max(maxs[c], v);
+        sums[c] += v;
+      }
+    }
+  }
+  if (samples == 0 || idx.empty()) return out;
+  const double denom = static_cast<double>(samples) * static_cast<double>(idx.size());
+  for (std::size_t c = 0; c < num_counters_; ++c)
+    out[c] = Agg{mins[c], maxs[c], sums[c] / denom};
+  return out;
+}
+
+std::vector<Agg> CounterStore::aggregate_all(sim::Time t0, sim::Time t1) const {
+  std::vector<Agg> out(num_counters_);
+  std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
+  std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
+  std::vector<double> sums(num_counters_, 0.0);
+  std::size_t samples = 0;
+
+  for (const Frame& f : frames_) {
+    if (f.t < t0 || f.t > t1) continue;
+    ++samples;
+    for (std::size_t c = 0; c < num_counters_; ++c) {
+      mins[c] = std::min(mins[c], static_cast<double>(f.all_min[c]));
+      maxs[c] = std::max(maxs[c], static_cast<double>(f.all_max[c]));
+      sums[c] += f.all_sum[c];
+    }
+  }
+  if (samples == 0) return out;
+  const double denom = static_cast<double>(samples) * static_cast<double>(managed_.size());
+  for (std::size_t c = 0; c < num_counters_; ++c)
+    out[c] = Agg{mins[c], maxs[c], sums[c] / denom};
+  return out;
+}
+
+double CounterStore::latest(cluster::NodeId node, std::size_t counter) const {
+  RUSH_EXPECTS(counter < num_counters_);
+  if (frames_.empty()) return 0.0;
+  const Frame& f = frames_.back();
+  return static_cast<double>(f.values[node_index(node) * num_counters_ + counter]);
+}
+
+void CounterStore::clear() { frames_.clear(); }
+
+}  // namespace rush::telemetry

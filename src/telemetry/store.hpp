@@ -1,0 +1,73 @@
+// Time-indexed counter storage (the "Sonar/Cassandra" stand-in).
+//
+// Frames are appended by the sampler: one frame per sampling tick holding
+// every managed node's counter values (node-major, float to halve memory).
+// Per-frame all-node aggregates are precomputed so whole-machine window
+// queries stay cheap. Old frames are evicted once `capacity_frames` is
+// exceeded — the pipeline only ever looks back one aggregation window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace rush::telemetry {
+
+/// min/max/mean of one counter over a (nodes x time) window.
+struct Agg {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+class CounterStore {
+ public:
+  /// `managed` lists the nodes frames will cover (sorted, unique);
+  /// `num_counters` values are stored per node per frame.
+  CounterStore(cluster::NodeSet managed, std::size_t num_counters, std::size_t capacity_frames);
+
+  /// Append one frame at time `t` (must be >= the previous frame's time).
+  /// `values` is node-major: values[node_index * num_counters + counter].
+  void add_frame(sim::Time t, std::span<const float> values);
+
+  [[nodiscard]] std::size_t num_counters() const noexcept { return num_counters_; }
+  [[nodiscard]] const cluster::NodeSet& managed_nodes() const noexcept { return managed_; }
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
+  [[nodiscard]] std::size_t frames_in(sim::Time t0, sim::Time t1) const noexcept;
+
+  /// Per-counter aggregates over frames with t in [t0, t1] and the given
+  /// nodes (must all be managed). Returns num_counters() entries; returns
+  /// zeros if the window holds no frames.
+  [[nodiscard]] std::vector<Agg> aggregate_nodes(sim::Time t0, sim::Time t1,
+                                                 const cluster::NodeSet& nodes) const;
+
+  /// Same, over every managed node, using the precomputed per-frame
+  /// aggregates (cheap regardless of node count).
+  [[nodiscard]] std::vector<Agg> aggregate_all(sim::Time t0, sim::Time t1) const;
+
+  /// Most recent value of one counter on one node; 0 if no frames.
+  [[nodiscard]] double latest(cluster::NodeId node, std::size_t counter) const;
+
+  void clear();
+
+ private:
+  struct Frame {
+    sim::Time t;
+    std::vector<float> values;           // managed x counters, node-major
+    std::vector<float> all_min, all_max;  // per counter
+    std::vector<double> all_sum;          // per counter (for exact means)
+  };
+
+  [[nodiscard]] std::size_t node_index(cluster::NodeId node) const;
+
+  cluster::NodeSet managed_;
+  std::size_t num_counters_;
+  std::size_t capacity_frames_;
+  std::deque<Frame> frames_;
+};
+
+}  // namespace rush::telemetry

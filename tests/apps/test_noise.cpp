@@ -1,0 +1,122 @@
+#include "apps/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rush::apps {
+namespace {
+
+cluster::FatTreeConfig small_config() {
+  cluster::FatTreeConfig cfg;
+  cfg.pods = 1;
+  cfg.edges_per_pod = 4;
+  cfg.nodes_per_edge = 8;
+  return cfg;
+}
+
+struct World {
+  World() : tree(small_config()), net(tree) {}
+  sim::Engine engine;
+  cluster::FatTree tree;
+  cluster::NetworkModel net;
+};
+
+cluster::NodeSet spread_nodes() { return {0, 8, 16, 24}; }  // one per edge
+
+TEST(Noise, StartRegistersTrafficSource) {
+  World w;
+  NoiseJob noise(w.engine, w.net, spread_nodes(), NoiseConfig{}, Rng(1));
+  EXPECT_FALSE(w.net.has_source(NoiseJob::kSourceId));
+  noise.start();
+  EXPECT_TRUE(w.net.has_source(NoiseJob::kSourceId));
+  EXPECT_GT(w.net.link_load_gbps(w.tree.edge_uplink(0)), 0.0);
+}
+
+TEST(Noise, StopRemovesSource) {
+  World w;
+  NoiseJob noise(w.engine, w.net, spread_nodes(), NoiseConfig{}, Rng(1));
+  noise.start();
+  noise.stop();
+  EXPECT_FALSE(w.net.has_source(NoiseJob::kSourceId));
+  EXPECT_DOUBLE_EQ(w.net.link_load_gbps(w.tree.edge_uplink(0)), 0.0);
+}
+
+TEST(Noise, RateStaysWithinConfiguredRange) {
+  World w;
+  NoiseConfig cfg;
+  cfg.rate_lo_gbps = 1.0;
+  cfg.rate_hi_gbps = 5.0;
+  NoiseJob noise(w.engine, w.net, spread_nodes(), cfg, Rng(2));
+  noise.start();
+  for (int i = 0; i < 100; ++i) {
+    w.engine.run_until(w.engine.now() + cfg.change_period_s);
+    EXPECT_GE(noise.current_rate_gbps(), cfg.rate_lo_gbps);
+    EXPECT_LE(noise.current_rate_gbps(), cfg.rate_hi_gbps);
+  }
+}
+
+TEST(Noise, RateVariesOverTime) {
+  World w;
+  NoiseJob noise(w.engine, w.net, spread_nodes(), NoiseConfig{}, Rng(3));
+  noise.start();
+  const double first = noise.current_rate_gbps();
+  bool changed = false;
+  for (int i = 0; i < 20 && !changed; ++i) {
+    w.engine.run_until(w.engine.now() + 60.0);
+    if (noise.current_rate_gbps() != first) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Noise, BurstsOccurAndAreHigh) {
+  World w;
+  NoiseConfig cfg;
+  cfg.burst_start_probability = 0.5;  // force frequent bursts
+  NoiseJob noise(w.engine, w.net, spread_nodes(), cfg, Rng(4));
+  noise.start();
+  bool saw_burst = false;
+  const double burst_floor = cfg.rate_lo_gbps + 0.75 * (cfg.rate_hi_gbps - cfg.rate_lo_gbps);
+  for (int i = 0; i < 60; ++i) {
+    w.engine.run_until(w.engine.now() + cfg.change_period_s);
+    if (noise.bursting()) {
+      saw_burst = true;
+      EXPECT_GE(noise.current_rate_gbps(), burst_floor);
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(Noise, CalmPeriodsStayInLowerHalf) {
+  World w;
+  NoiseConfig cfg;
+  cfg.burst_start_probability = 0.0;  // never burst
+  NoiseJob noise(w.engine, w.net, spread_nodes(), cfg, Rng(5));
+  noise.start();
+  const double calm_ceiling = cfg.rate_lo_gbps + 0.5 * (cfg.rate_hi_gbps - cfg.rate_lo_gbps);
+  for (int i = 0; i < 50; ++i) {
+    w.engine.run_until(w.engine.now() + cfg.change_period_s);
+    EXPECT_FALSE(noise.bursting());
+    EXPECT_LE(noise.current_rate_gbps(), calm_ceiling + 1e-9);
+  }
+}
+
+TEST(Noise, StartIsIdempotent) {
+  World w;
+  NoiseJob noise(w.engine, w.net, spread_nodes(), NoiseConfig{}, Rng(6));
+  noise.start();
+  noise.start();  // no double registration
+  noise.stop();
+  noise.stop();  // no double removal
+}
+
+TEST(Noise, RejectsBadConfig) {
+  World w;
+  EXPECT_THROW(NoiseJob(w.engine, w.net, {0}, NoiseConfig{}, Rng(1)), PreconditionError);
+  NoiseConfig bad;
+  bad.rate_hi_gbps = bad.rate_lo_gbps - 1.0;
+  EXPECT_THROW(NoiseJob(w.engine, w.net, spread_nodes(), bad, Rng(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::apps

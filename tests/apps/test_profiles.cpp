@@ -1,0 +1,108 @@
+#include "apps/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rush::apps {
+namespace {
+
+TEST(Profiles, CatalogHasSevenPaperApps) {
+  const auto apps = proxy_apps();
+  ASSERT_EQ(apps.size(), 7u);
+  const auto names = proxy_app_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"Kripke", "AMG", "Laghos", "SWFFT", "PENNANT",
+                                             "sw4lite", "LBANN"}));
+}
+
+TEST(Profiles, ChannelFractionsSumToOne) {
+  for (const AppProfile& app : proxy_apps()) {
+    EXPECT_NEAR(app.compute_frac + app.network_frac + app.io_frac, 1.0, 1e-9) << app.name;
+    EXPECT_GT(app.base_runtime_s, 0.0) << app.name;
+    EXPECT_EQ(app.ref_nodes, 16) << app.name;
+  }
+}
+
+TEST(Profiles, VariationProneOrdering) {
+  // The paper's most variation-prone apps carry the largest stretchable
+  // (network + I/O) share.
+  const auto laghos = *find_app("Laghos");
+  const auto lbann = *find_app("LBANN");
+  const auto kripke = *find_app("Kripke");
+  const auto pennant = *find_app("PENNANT");
+  EXPECT_GT(laghos.network_frac + laghos.io_frac, kripke.network_frac + kripke.io_frac);
+  EXPECT_GT(lbann.network_frac + lbann.io_frac, pennant.network_frac + pennant.io_frac);
+}
+
+TEST(Profiles, WorkloadClassesCoverAllThree) {
+  bool compute = false, network = false, io = false;
+  for (const AppProfile& app : proxy_apps()) {
+    switch (app.workload) {
+      case telemetry::WorkloadClass::Compute:
+        compute = true;
+        break;
+      case telemetry::WorkloadClass::Network:
+        network = true;
+        break;
+      case telemetry::WorkloadClass::Io:
+        io = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(compute);
+  EXPECT_TRUE(network);
+  EXPECT_TRUE(io);
+}
+
+TEST(Profiles, FindAppByName) {
+  EXPECT_TRUE(find_app("AMG").has_value());
+  EXPECT_EQ(find_app("AMG")->name, "AMG");
+  EXPECT_FALSE(find_app("NotAnApp").has_value());
+}
+
+TEST(Profiles, ReferenceScaleIsIdentity) {
+  for (const AppProfile& app : proxy_apps()) {
+    const ChannelTimes strong = scaled_channels(app, app.ref_nodes, ScalingMode::Strong);
+    EXPECT_NEAR(strong.total(), app.base_runtime_s, 1e-9) << app.name;
+    const ChannelTimes weak = scaled_channels(app, app.ref_nodes, ScalingMode::Weak);
+    EXPECT_NEAR(weak.total(), app.base_runtime_s, 1e-9) << app.name;
+  }
+}
+
+TEST(Profiles, StrongScalingShrinksComputeGrowsComm) {
+  const auto app = *find_app("Laghos");
+  const ChannelTimes at16 = scaled_channels(app, 16, ScalingMode::Strong);
+  const ChannelTimes at32 = scaled_channels(app, 32, ScalingMode::Strong);
+  EXPECT_LT(at32.compute_s, at16.compute_s);
+  EXPECT_GT(at32.network_s, at16.network_s);
+  EXPECT_LT(at32.io_s, at16.io_s);
+  // Amdahl: compute cannot shrink below the serial fraction.
+  const ChannelTimes at_huge = scaled_channels(app, 4096, ScalingMode::Strong);
+  EXPECT_GT(at_huge.compute_s,
+            0.9 * app.serial_fraction * app.base_runtime_s * app.compute_frac);
+}
+
+TEST(Profiles, WeakScalingKeepsComputeConstant) {
+  const auto app = *find_app("SWFFT");
+  const ChannelTimes at8 = scaled_channels(app, 8, ScalingMode::Weak);
+  const ChannelTimes at32 = scaled_channels(app, 32, ScalingMode::Weak);
+  EXPECT_DOUBLE_EQ(at8.compute_s, at32.compute_s);
+  EXPECT_DOUBLE_EQ(at8.io_s, at32.io_s);
+  EXPECT_GT(at32.network_s, at8.network_s);
+}
+
+TEST(Profiles, StrongScalingSmallerNodeCountRunsLonger) {
+  for (const AppProfile& app : proxy_apps()) {
+    const double at8 = scaled_channels(app, 8, ScalingMode::Strong).total();
+    const double at16 = scaled_channels(app, 16, ScalingMode::Strong).total();
+    EXPECT_GT(at8, at16) << app.name;
+  }
+}
+
+TEST(Profiles, ScaledChannelsRejectsBadNodeCount) {
+  const auto app = *find_app("AMG");
+  EXPECT_THROW((void)scaled_channels(app, 0, ScalingMode::Strong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::apps

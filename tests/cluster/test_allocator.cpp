@@ -1,0 +1,146 @@
+#include "cluster/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rush::cluster {
+namespace {
+
+NodeSet range(NodeId lo, NodeId hi) {
+  NodeSet out;
+  for (NodeId n = lo; n < hi; ++n) out.push_back(n);
+  return out;
+}
+
+TEST(Allocator, AllocatesContiguousFirstFit) {
+  NodeAllocator alloc(range(0, 32));
+  const auto a = alloc.allocate(8);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, range(0, 8));
+  const auto b = alloc.allocate(8);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, range(8, 16));
+  EXPECT_EQ(alloc.free_count(), 16);
+}
+
+TEST(Allocator, ReleaseMakesNodesReusable) {
+  NodeAllocator alloc(range(0, 16));
+  const auto a = alloc.allocate(16);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+  alloc.release(*a);
+  EXPECT_EQ(alloc.free_count(), 16);
+  EXPECT_TRUE(alloc.allocate(16).has_value());
+}
+
+TEST(Allocator, ReusesFreedHole) {
+  NodeAllocator alloc(range(0, 24));
+  const auto a = alloc.allocate(8);
+  const auto b = alloc.allocate(8);
+  const auto c = alloc.allocate(8);
+  ASSERT_TRUE(a && b && c);
+  alloc.release(*b);
+  const auto d = alloc.allocate(8);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, *b);  // first fit lands in the freed hole
+}
+
+TEST(Allocator, FragmentedFallbackGathersLowestFree) {
+  NodeAllocator alloc(range(0, 12));
+  const auto a = alloc.allocate(4);  // 0-3
+  const auto b = alloc.allocate(4);  // 4-7
+  const auto c = alloc.allocate(4);  // 8-11
+  ASSERT_TRUE(a && b && c);
+  alloc.release(*a);
+  alloc.release(*c);
+  // 8 free nodes but no contiguous run of 8: fallback to scattered.
+  const auto d = alloc.allocate(8);
+  ASSERT_TRUE(d.has_value());
+  NodeSet expected = *a;
+  expected.insert(expected.end(), c->begin(), c->end());
+  EXPECT_EQ(*d, expected);
+}
+
+TEST(Allocator, RespectsManagedSubsetWithHoles) {
+  // Managed set skips every 4th node (like noise-node exclusion).
+  NodeSet managed;
+  for (NodeId n = 0; n < 16; ++n)
+    if (n % 4 != 0) managed.push_back(n);
+  NodeAllocator alloc(managed);
+  const auto a = alloc.allocate(6);
+  ASSERT_TRUE(a.has_value());
+  for (NodeId n : *a) EXPECT_NE(n % 4, 0);
+  EXPECT_EQ(a->size(), 6u);
+}
+
+TEST(Allocator, CanAllocateIsConsistent) {
+  NodeAllocator alloc(range(0, 8));
+  EXPECT_TRUE(alloc.can_allocate(8));
+  EXPECT_FALSE(alloc.can_allocate(9));
+  EXPECT_FALSE(alloc.can_allocate(0));
+  (void)alloc.allocate(5);
+  EXPECT_TRUE(alloc.can_allocate(3));
+  EXPECT_FALSE(alloc.can_allocate(4));
+}
+
+TEST(Allocator, IsFreeTracksState) {
+  NodeAllocator alloc(range(0, 4));
+  EXPECT_TRUE(alloc.is_free(2));
+  (void)alloc.allocate(3);
+  EXPECT_FALSE(alloc.is_free(2));
+  EXPECT_TRUE(alloc.is_free(3));
+}
+
+TEST(Allocator, PreconditionViolations) {
+  EXPECT_THROW(NodeAllocator({}), PreconditionError);
+  EXPECT_THROW(NodeAllocator({3, 1}), PreconditionError);   // unsorted
+  EXPECT_THROW(NodeAllocator({1, 1}), PreconditionError);   // duplicate
+  NodeAllocator alloc(range(0, 4));
+  EXPECT_THROW((void)alloc.allocate(0), PreconditionError);
+  EXPECT_THROW(alloc.release({99}), PreconditionError);     // not managed
+  EXPECT_THROW(alloc.release({0}), PreconditionError);      // not allocated
+  EXPECT_THROW((void)alloc.is_free(99), PreconditionError);
+}
+
+// Property: under random allocate/release churn, no node is ever handed
+// out twice and free counts stay consistent.
+class AllocatorChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorChurnTest, NeverDoubleAllocates) {
+  Rng rng(GetParam());
+  NodeAllocator alloc(range(0, 64));
+  std::vector<NodeSet> live;
+  std::set<NodeId> held;
+  for (int step = 0; step < 500; ++step) {
+    if (!live.empty() && (rng.bernoulli(0.45) || alloc.free_count() == 0)) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      for (NodeId n : live[idx]) held.erase(n);
+      alloc.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const int want = static_cast<int>(rng.uniform_int(1, 12));
+      const auto got = alloc.allocate(want);
+      if (static_cast<int>(held.size()) + want <= 64) {
+        ASSERT_TRUE(got.has_value());
+      }
+      if (got) {
+        EXPECT_EQ(static_cast<int>(got->size()), want);
+        for (NodeId n : *got) {
+          EXPECT_TRUE(held.insert(n).second) << "node " << n << " double-allocated";
+        }
+        live.push_back(*got);
+      }
+    }
+    EXPECT_EQ(alloc.free_count(), 64 - static_cast<int>(held.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurnTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace rush::cluster

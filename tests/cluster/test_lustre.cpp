@@ -1,0 +1,94 @@
+#include "cluster/lustre.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/congestion.hpp"
+#include "common/error.hpp"
+
+namespace rush::cluster {
+namespace {
+
+TEST(Lustre, EmptyModelIsHealthy) {
+  LustreModel fs(100.0);
+  EXPECT_DOUBLE_EQ(fs.total_demand_gbps(), 0.0);
+  EXPECT_DOUBLE_EQ(fs.slowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(fs.capacity_gbps(), 100.0);
+}
+
+TEST(Lustre, DemandAggregatesOverClientsAndNodes) {
+  LustreModel fs(100.0);
+  fs.add_client(1, {0, 1, 2, 3}, 2.0);
+  fs.add_client(2, {10, 11}, 5.0);
+  EXPECT_DOUBLE_EQ(fs.total_demand_gbps(), 4 * 2.0 + 2 * 5.0);
+}
+
+TEST(Lustre, SlowdownFollowsCongestionCurve) {
+  LustreModel fs(100.0);
+  fs.add_client(1, {0}, 90.0);
+  EXPECT_NEAR(fs.slowdown(), congestion_slowdown(0.9), 1e-12);
+  fs.set_rate(1, 150.0);
+  EXPECT_NEAR(fs.slowdown(), congestion_slowdown(1.5), 1e-12);
+}
+
+TEST(Lustre, AmbientDemandCounts) {
+  LustreModel fs(100.0);
+  fs.set_ambient_demand(60.0);
+  EXPECT_DOUBLE_EQ(fs.total_demand_gbps(), 60.0);
+  fs.add_client(1, {0, 1}, 20.0);
+  EXPECT_DOUBLE_EQ(fs.total_demand_gbps(), 100.0);
+}
+
+TEST(Lustre, NodeRatesSplitByReadFraction) {
+  LustreModel fs(1000.0);  // uncontended
+  fs.add_client(1, {5, 6}, 4.0, /*read_fraction=*/0.75);
+  EXPECT_NEAR(fs.node_read_gbps(5), 3.0, 1e-6);
+  EXPECT_NEAR(fs.node_write_gbps(5), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fs.node_read_gbps(99), 0.0);  // non-client node
+}
+
+TEST(Lustre, AchievedRatesShrinkUnderContention) {
+  LustreModel fs(10.0);
+  fs.add_client(1, {0}, 4.0, 0.5);
+  const double healthy = fs.node_read_gbps(0);
+  fs.set_ambient_demand(20.0);  // oversubscribe the pool
+  const double contended = fs.node_read_gbps(0);
+  EXPECT_LT(contended, healthy);
+  EXPECT_NEAR(contended, 2.0 / fs.slowdown(), 1e-9);
+}
+
+TEST(Lustre, RemoveClientRestoresHealth) {
+  LustreModel fs(10.0);
+  fs.add_client(1, {0, 1, 2}, 10.0);
+  EXPECT_GT(fs.slowdown(), 2.0);
+  fs.remove_client(1);
+  EXPECT_FALSE(fs.has_client(1));
+  EXPECT_DOUBLE_EQ(fs.slowdown(), 1.0);
+}
+
+TEST(Lustre, GenerationBumpsOnMutation) {
+  LustreModel fs(10.0);
+  const auto g0 = fs.generation();
+  fs.add_client(1, {0}, 1.0);
+  EXPECT_GT(fs.generation(), g0);
+  const auto g1 = fs.generation();
+  fs.set_rate(1, 1.0);  // no-op
+  EXPECT_EQ(fs.generation(), g1);
+  fs.set_rate(1, 2.0);
+  EXPECT_GT(fs.generation(), g1);
+}
+
+TEST(Lustre, PreconditionViolations) {
+  EXPECT_THROW(LustreModel(0.0), PreconditionError);
+  LustreModel fs(10.0);
+  EXPECT_THROW(fs.add_client(1, {}, 1.0), PreconditionError);
+  EXPECT_THROW(fs.add_client(1, {0}, -1.0), PreconditionError);
+  EXPECT_THROW(fs.add_client(1, {0}, 1.0, 1.5), PreconditionError);
+  fs.add_client(1, {0}, 1.0);
+  EXPECT_THROW(fs.add_client(1, {1}, 1.0), PreconditionError);
+  EXPECT_THROW(fs.set_rate(9, 1.0), PreconditionError);
+  EXPECT_THROW(fs.remove_client(9), PreconditionError);
+  EXPECT_THROW(fs.set_ambient_demand(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::cluster

@@ -1,0 +1,137 @@
+// Tests for Table, CSV, and string utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace rush {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"app", "runs"});
+  t.add_row({"Laghos", "27"});
+  t.add_row({"AMG", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("app    | runs"), std::string::npos);
+  EXPECT_NE(out.find("-------+-----"), std::string::npos);
+  EXPECT_NE(out.find("Laghos | 27"), std::string::npos);
+  EXPECT_NE(out.find("AMG    | 3"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_THROW((void)t.cell(1, 0), PreconditionError);
+  EXPECT_THROW((void)t.cell(0, 1), PreconditionError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.058, 1), "5.8%");
+}
+
+TEST(Csv, WriteSimpleRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(Csv, NumericRowPrecision) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_numeric_row({1.5, 2.0, -0.25}, 6);
+  EXPECT_EQ(os.str(), "1.5,2,-0.25\n");
+}
+
+TEST(Csv, RoundTripWithQuoting) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"x,y", "line1\nline2", "q\"q", ""});
+  w.write_row({"1", "2", "3", "4"});
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x,y", "line1\nline2", "q\"q", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+TEST(Csv, ParsesCrlfAndMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, EmptyTextYieldsNoRows) { EXPECT_TRUE(parse_csv("").empty()); }
+
+TEST(Csv, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("\"open"), ParseError);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(str::split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(str::split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(str::split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(str::split("trailing,", ','), (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(str::join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(str::join({}, ","), "");
+  EXPECT_EQ(str::join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(str::trim("  x  "), "x");
+  EXPECT_EQ(str::trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim("no-ws"), "no-ws");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(str::starts_with("prefix-rest", "prefix"));
+  EXPECT_FALSE(str::starts_with("pre", "prefix"));
+  EXPECT_TRUE(str::starts_with("anything", ""));
+}
+
+TEST(Strings, ToDoubleStrict) {
+  EXPECT_DOUBLE_EQ(str::to_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(str::to_double("  -2e3 "), -2000.0);
+  EXPECT_THROW((void)str::to_double("abc"), ParseError);
+  EXPECT_THROW((void)str::to_double("1.5x"), ParseError);
+  EXPECT_THROW((void)str::to_double(""), ParseError);
+}
+
+TEST(Strings, ToIntStrict) {
+  EXPECT_EQ(str::to_int("42"), 42);
+  EXPECT_EQ(str::to_int(" -7 "), -7);
+  EXPECT_THROW((void)str::to_int("4.2"), ParseError);
+  EXPECT_THROW((void)str::to_int(""), ParseError);
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(str::format_duration(12.345), "12.35s");
+  EXPECT_EQ(str::format_duration(125.0), "2m5.0s");
+  EXPECT_EQ(str::format_duration(3725.0), "1h2m5s");
+  EXPECT_EQ(str::format_duration(-30.0), "-30.00s");
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,108 @@
+#include "core/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rush::core {
+namespace {
+
+CollectedSample make_sample(const std::string& app, int app_index, double runtime,
+                            double fill = 1.0) {
+  CollectedSample s;
+  s.app = app;
+  s.app_index = app_index;
+  s.workload = telemetry::WorkloadClass::Network;
+  s.node_count = 16;
+  s.start_s = 100.0;
+  s.runtime_s = runtime;
+  s.features_all.assign(telemetry::FeatureAssembler::kNumFeatures, fill);
+  s.features_job.assign(telemetry::FeatureAssembler::kNumFeatures, fill * 2.0);
+  return s;
+}
+
+TEST(Corpus, AddAndAccess) {
+  Corpus c;
+  EXPECT_TRUE(c.empty());
+  c.add(make_sample("AMG", 0, 250.0));
+  c.add(make_sample("Laghos", 1, 350.0));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.app_names(), (std::vector<std::string>{"AMG", "Laghos"}));
+}
+
+TEST(Corpus, StatsPerApp) {
+  Corpus c;
+  c.add(make_sample("AMG", 0, 100.0));
+  c.add(make_sample("AMG", 0, 200.0));
+  c.add(make_sample("AMG", 0, 300.0));
+  c.add(make_sample("Laghos", 1, 400.0));
+  const AppStats stats = c.stats_for("AMG");
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 200.0);
+  EXPECT_DOUBLE_EQ(stats.min_s, 100.0);
+  EXPECT_DOUBLE_EQ(stats.max_s, 300.0);
+  EXPECT_NEAR(stats.stddev_s, 100.0, 1e-9);  // sample stddev of {100,200,300}
+  EXPECT_THROW((void)c.stats_for("Unknown"), PreconditionError);
+}
+
+TEST(Corpus, AppStatsFollowsFirstSeenOrder) {
+  Corpus c;
+  c.add(make_sample("Laghos", 1, 350.0));
+  c.add(make_sample("AMG", 0, 250.0));
+  c.add(make_sample("Laghos", 1, 360.0));
+  const auto stats = c.app_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].app, "Laghos");
+  EXPECT_EQ(stats[1].app, "AMG");
+}
+
+TEST(Corpus, FilterApps) {
+  Corpus c;
+  c.add(make_sample("AMG", 0, 100.0));
+  c.add(make_sample("Laghos", 1, 200.0));
+  c.add(make_sample("AMG", 0, 150.0));
+  const Corpus filtered = c.filter_apps({"AMG"});
+  EXPECT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered.app_names(), std::vector<std::string>{"AMG"});
+  EXPECT_TRUE(c.filter_apps({"Nothing"}).empty());
+}
+
+TEST(Corpus, CsvRoundTrip) {
+  Corpus c;
+  c.add(make_sample("AMG", 0, 123.456, 0.5));
+  c.add(make_sample("Laghos", 1, 654.321, 2.5));
+  std::stringstream ss;
+  c.to_csv(ss);
+  const Corpus back = Corpus::from_csv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  const CollectedSample& s = back.samples()[1];
+  EXPECT_EQ(s.app, "Laghos");
+  EXPECT_EQ(s.app_index, 1);
+  EXPECT_EQ(s.workload, telemetry::WorkloadClass::Network);
+  EXPECT_EQ(s.node_count, 16);
+  EXPECT_NEAR(s.runtime_s, 654.321, 1e-6);
+  EXPECT_NEAR(s.features_all[0], 2.5, 1e-9);
+  EXPECT_NEAR(s.features_job[0], 5.0, 1e-9);
+}
+
+TEST(Corpus, FromCsvRejectsWrongShape) {
+  std::stringstream bad("a,b,c\n1,2,3\n");
+  EXPECT_THROW((void)Corpus::from_csv(bad), ParseError);
+  std::stringstream empty("");
+  EXPECT_THROW((void)Corpus::from_csv(empty), ParseError);
+}
+
+TEST(Corpus, AddValidatesSample) {
+  Corpus c;
+  CollectedSample bad = make_sample("AMG", 0, 100.0);
+  bad.features_all.resize(3);
+  EXPECT_THROW(c.add(bad), PreconditionError);
+  CollectedSample zero_runtime = make_sample("AMG", 0, 100.0);
+  zero_runtime.runtime_s = 0.0;
+  EXPECT_THROW(c.add(zero_runtime), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::core

@@ -1,0 +1,157 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace rush::core {
+namespace {
+
+EnvironmentConfig tiny_env(std::uint64_t seed) {
+  EnvironmentConfig cfg = single_pod_config(seed);
+  cfg.tree.edges_per_pod = 4;  // 128 nodes keeps the test fast
+  return cfg;
+}
+
+SessionConfig tiny_session() {
+  SessionConfig cfg;
+  cfg.apps = {"AMG", "Kripke"};
+  cfg.num_jobs = 12;
+  cfg.submit_window_s = 300.0;
+  return cfg;
+}
+
+TEST(Session, RunsWorkloadToCompletion) {
+  Environment env(tiny_env(1));
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  WorkloadSession session(env, allocator, tiny_session(), sched::SchedulerConfig{}, nullptr,
+                          env.rng_for(1));
+  const TrialResult result = session.run();
+  ASSERT_EQ(result.jobs.size(), 12u);
+  for (const JobOutcome& job : result.jobs) {
+    EXPECT_GT(job.runtime_s, 0.0);
+    EXPECT_GE(job.wait_s, 0.0);
+    EXPECT_GE(job.slowdown, 1.0);
+  }
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_EQ(result.total_skips, 0u);  // no RUSH
+  // All allocated nodes were returned.
+  EXPECT_EQ(allocator.free_count(), allocator.managed_count());
+}
+
+TEST(Session, JobMixCyclesOverAppsAndNodeCounts) {
+  Environment env(tiny_env(2));
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  SessionConfig cfg = tiny_session();
+  cfg.num_jobs = 12;
+  cfg.node_counts = {8, 16};
+  WorkloadSession session(env, allocator, cfg, sched::SchedulerConfig{}, nullptr,
+                          env.rng_for(2));
+  const TrialResult result = session.run();
+  int amg = 0, kripke = 0, eight = 0, sixteen = 0;
+  for (const JobOutcome& job : result.jobs) {
+    if (job.app == "AMG") ++amg;
+    if (job.app == "Kripke") ++kripke;
+    if (job.node_count == 8) ++eight;
+    if (job.node_count == 16) ++sixteen;
+  }
+  EXPECT_EQ(amg, 6);
+  EXPECT_EQ(kripke, 6);
+  EXPECT_EQ(eight + sixteen, 12);
+  EXPECT_GT(eight, 0);
+  EXPECT_GT(sixteen, 0);
+}
+
+TEST(Session, InitialFractionSubmitsAtSessionStart) {
+  Environment env(tiny_env(3));
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  SessionConfig cfg = tiny_session();
+  cfg.num_jobs = 20;
+  cfg.initial_fraction = 0.2;
+  WorkloadSession session(env, allocator, cfg, sched::SchedulerConfig{}, nullptr,
+                          env.rng_for(3));
+  const TrialResult result = session.run();
+  int at_start = 0;
+  for (const JobOutcome& job : result.jobs) {
+    if (job.submitted_at_start) {
+      ++at_start;
+      EXPECT_DOUBLE_EQ(job.submit_s, 0.0);
+    } else {
+      EXPECT_GT(job.submit_s, 0.0);
+      EXPECT_LE(job.submit_s, cfg.submit_window_s);
+    }
+  }
+  EXPECT_EQ(at_start, 4);  // 20% of 20
+}
+
+TEST(Session, HooksSeeEveryJobExactlyOnce) {
+  Environment env(tiny_env(4));
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  WorkloadSession session(env, allocator, tiny_session(), sched::SchedulerConfig{}, nullptr,
+                          env.rng_for(4));
+  std::set<sched::JobId> started, completed;
+  session.on_start([&](const sched::Job& job) {
+    EXPECT_TRUE(started.insert(job.id).second);
+    EXPECT_EQ(job.state, sched::JobState::Running);
+  });
+  session.on_complete([&](const sched::Job& job) {
+    EXPECT_TRUE(completed.insert(job.id).second);
+    EXPECT_TRUE(started.contains(job.id));
+  });
+  const TrialResult result = session.run();
+  EXPECT_EQ(started.size(), result.jobs.size());
+  EXPECT_EQ(completed.size(), result.jobs.size());
+}
+
+TEST(Session, StartsRelativeToCurrentSimTime) {
+  Environment env(tiny_env(5));
+  env.engine().run_until(5000.0);
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  WorkloadSession session(env, allocator, tiny_session(), sched::SchedulerConfig{}, nullptr,
+                          env.rng_for(5));
+  const TrialResult result = session.run();
+  for (const JobOutcome& job : result.jobs) {
+    EXPECT_GE(job.submit_s, 0.0);  // relative to session start
+    EXPECT_LE(job.submit_s, 300.0);
+  }
+  EXPECT_GE(env.engine().now(), 5000.0);
+}
+
+TEST(Session, DeterministicForSameSeeds) {
+  auto run_once = [] {
+    Environment env(tiny_env(42));
+    cluster::NodeAllocator allocator(env.pod_nodes());
+    WorkloadSession session(env, allocator, tiny_session(), sched::SchedulerConfig{}, nullptr,
+                            env.rng_for(7));
+    return session.run();
+  };
+  const TrialResult a = run_once();
+  const TrialResult b = run_once();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].app, b.jobs[i].app);
+    EXPECT_DOUBLE_EQ(a.jobs[i].runtime_s, b.jobs[i].runtime_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].wait_s, b.jobs[i].wait_s);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Session, RejectsBadConfig) {
+  Environment env(tiny_env(6));
+  cluster::NodeAllocator allocator(env.pod_nodes());
+  SessionConfig bad = tiny_session();
+  bad.apps.clear();
+  EXPECT_THROW(
+      WorkloadSession(env, allocator, bad, sched::SchedulerConfig{}, nullptr, env.rng_for(1)),
+      PreconditionError);
+  bad = tiny_session();
+  bad.walltime_factor_lo = 0.5;
+  EXPECT_THROW(
+      WorkloadSession(env, allocator, bad, sched::SchedulerConfig{}, nullptr, env.rng_for(1)),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::core

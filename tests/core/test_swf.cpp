@@ -1,0 +1,109 @@
+#include "core/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rush::core {
+namespace {
+
+TrialResult sample_trial() {
+  TrialResult trial;
+  trial.policy = "rush";
+  JobOutcome a;
+  a.app = "AMG";
+  a.node_count = 16;
+  a.submit_s = 120.0;
+  a.wait_s = 30.0;
+  a.runtime_s = 250.5;
+  a.skips = 2;
+  JobOutcome b;
+  b.app = "Laghos";
+  b.node_count = 8;
+  b.submit_s = 0.0;
+  b.wait_s = 0.0;
+  b.runtime_s = 199.25;
+  b.skips = 0;
+  trial.jobs = {a, b};  // deliberately out of submit order
+  return trial;
+}
+
+TEST(Swf, WritesHeaderCommentsAndSortedJobs) {
+  std::stringstream ss;
+  SwfOptions options;
+  options.comments = {"Experiment: ADAA"};
+  write_swf(sample_trial(), ss, options);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("; SWF trace exported by RUSH (policy: rush)"), std::string::npos);
+  EXPECT_NE(text.find("; Experiment: ADAA"), std::string::npos);
+  // Job submitted at t=0 (Laghos) must come first.
+  const auto first_job = text.find("\n1 0 ");
+  const auto second_job = text.find("\n2 120 ");
+  EXPECT_NE(first_job, std::string::npos);
+  EXPECT_NE(second_job, std::string::npos);
+  EXPECT_LT(first_job, second_job);
+}
+
+TEST(Swf, EveryJobLineHas18Fields) {
+  std::stringstream ss;
+  write_swf(sample_trial(), ss);
+  std::string line;
+  int job_lines = 0;
+  while (std::getline(ss, line)) {
+    if (line.empty() || line.front() == ';') continue;
+    std::istringstream fields(line);
+    int count = 0;
+    std::string tok;
+    while (fields >> tok) ++count;
+    EXPECT_EQ(count, 18) << line;
+    ++job_lines;
+  }
+  EXPECT_EQ(job_lines, 2);
+}
+
+TEST(Swf, RoundTripPreservesTheMeaningfulFields) {
+  std::stringstream ss;
+  write_swf(sample_trial(), ss);
+  const auto jobs = read_swf(ss);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].job_number, 1);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_s, 0.0);
+  EXPECT_NEAR(jobs[0].run_s, 199.25, 0.01);
+  EXPECT_EQ(jobs[0].procs, 8 * 32);
+  EXPECT_EQ(jobs[0].skips, 0);
+  EXPECT_EQ(jobs[0].status, 1);
+  EXPECT_DOUBLE_EQ(jobs[1].submit_s, 120.0);
+  EXPECT_DOUBLE_EQ(jobs[1].wait_s, 30.0);
+  EXPECT_EQ(jobs[1].skips, 2);
+}
+
+TEST(Swf, CustomCoresPerNode) {
+  std::stringstream ss;
+  SwfOptions options;
+  options.cores_per_node = 4;
+  write_swf(sample_trial(), ss, options);
+  const auto jobs = read_swf(ss);
+  EXPECT_EQ(jobs[0].procs, 8 * 4);
+}
+
+TEST(Swf, ReadSkipsCommentsAndBlankLines) {
+  std::stringstream ss("; a comment\n\n; another\n");
+  EXPECT_TRUE(read_swf(ss).empty());
+}
+
+TEST(Swf, ReadRejectsMalformedRecords) {
+  std::stringstream ss("1 2 3\n");
+  EXPECT_THROW((void)read_swf(ss), ParseError);
+}
+
+TEST(Swf, RejectsBadOptions) {
+  std::stringstream ss;
+  SwfOptions bad;
+  bad.cores_per_node = 0;
+  EXPECT_THROW(write_swf(sample_trial(), ss, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::core

@@ -1,0 +1,83 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rush::ml {
+namespace {
+
+Dataset make_data() {
+  Dataset d({"x", "y", "const"});
+  d.add_row(std::vector<double>{1.0, 100.0, 5.0}, 0);
+  d.add_row(std::vector<double>{2.0, 200.0, 5.0}, 1);
+  d.add_row(std::vector<double>{3.0, 300.0, 5.0}, 0);
+  return d;
+}
+
+TEST(Scaler, TransformedColumnsHaveZeroMeanUnitVariance) {
+  const Dataset d = make_data();
+  StandardScaler scaler;
+  scaler.fit(d);
+  const Dataset t = scaler.transform(d);
+  for (std::size_t f = 0; f < 2; ++f) {
+    const auto col = t.column(f);
+    EXPECT_NEAR(stats::mean(col), 0.0, 1e-12);
+    EXPECT_NEAR(stats::variance(col), 1.0, 1e-9);
+  }
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  const Dataset d = make_data();
+  StandardScaler scaler;
+  scaler.fit(d);
+  for (double v : scaler.transform(d).column(2)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Scaler, PreservesLabelsAndGroups) {
+  const Dataset d = make_data();
+  StandardScaler scaler;
+  scaler.fit(d);
+  const Dataset t = scaler.transform(d);
+  EXPECT_EQ(t.labels(), d.labels());
+  EXPECT_EQ(t.groups(), d.groups());
+  EXPECT_EQ(t.feature_names(), d.feature_names());
+}
+
+TEST(Scaler, SingleVectorTransformMatchesDataset) {
+  const Dataset d = make_data();
+  StandardScaler scaler;
+  scaler.fit(d);
+  const auto v = scaler.transform(d.row(1));
+  const Dataset t = scaler.transform(d);
+  for (std::size_t f = 0; f < d.cols(); ++f) EXPECT_DOUBLE_EQ(v[f], t.row(1)[f]);
+}
+
+TEST(Scaler, SaveLoadRoundTrip) {
+  const Dataset d = make_data();
+  StandardScaler scaler;
+  scaler.fit(d);
+  std::stringstream ss;
+  scaler.save(ss);
+  StandardScaler loaded;
+  loaded.load(ss);
+  EXPECT_EQ(loaded.means(), scaler.means());
+  EXPECT_EQ(loaded.stddevs(), scaler.stddevs());
+}
+
+TEST(Scaler, PreconditionViolations) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.is_fitted());
+  EXPECT_THROW((void)scaler.transform(std::vector<double>{1.0}), PreconditionError);
+  scaler.fit(make_data());
+  EXPECT_THROW((void)scaler.transform(std::vector<double>{1.0}), PreconditionError);
+  std::stringstream bad("not-a-scaler");
+  StandardScaler loaded;
+  EXPECT_THROW(loaded.load(bad), ParseError);
+}
+
+}  // namespace
+}  // namespace rush::ml

@@ -1,0 +1,95 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/tree.hpp"
+
+namespace rush::ml {
+namespace {
+
+Dataset tiny_data(std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"x0", "x1"});
+  for (int i = 0; i < 120; ++i) {
+    const double x0 = rng.uniform(0.0, 10.0);
+    d.add_row(std::vector<double>{x0, rng.uniform(0, 1)}, x0 > 5.0 ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(Registry, MakesEveryKnownType) {
+  for (const char* name :
+       {"decision_tree", "decision_forest", "extra_trees", "adaboost", "knn"}) {
+    const auto model = make_classifier(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->type_name(), name);
+    EXPECT_FALSE(model->is_fitted());
+  }
+}
+
+TEST(Registry, RejectsUnknownType) {
+  EXPECT_THROW((void)make_classifier("svm"), ParseError);
+  EXPECT_THROW((void)make_classifier(""), ParseError);
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerializeRoundTrip, PredictionsSurviveSaveLoad) {
+  const Dataset d = tiny_data(7);
+  auto model = make_classifier(GetParam());
+  model->fit(d);
+  std::stringstream ss;
+  save_classifier(*model, ss);
+  const auto loaded = load_classifier(ss);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->type_name(), model->type_name());
+  EXPECT_EQ(loaded->num_classes(), model->num_classes());
+  EXPECT_EQ(loaded->num_features(), model->num_features());
+  for (std::size_t i = 0; i < d.rows(); ++i)
+    EXPECT_EQ(loaded->predict(d.row(i)), model->predict(d.row(i)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SerializeRoundTrip,
+                         ::testing::Values("decision_tree", "decision_forest", "extra_trees",
+                                           "adaboost", "knn"));
+
+TEST(Serialize, RefusesUnfittedModel) {
+  DecisionTree tree;
+  std::stringstream ss;
+  EXPECT_THROW(save_classifier(tree, ss), PreconditionError);
+}
+
+TEST(Serialize, LoadRejectsWrongMagic) {
+  std::stringstream ss("not-a-model 1\ntype decision_tree\n");
+  EXPECT_THROW((void)load_classifier(ss), ParseError);
+}
+
+TEST(Serialize, LoadRejectsWrongVersion) {
+  std::stringstream ss("rush-model 99\ntype decision_tree\n");
+  EXPECT_THROW((void)load_classifier(ss), ParseError);
+}
+
+TEST(Serialize, LoadRejectsUnknownEmbeddedType) {
+  std::stringstream ss("rush-model 1\ntype mystery\n");
+  EXPECT_THROW((void)load_classifier(ss), ParseError);
+}
+
+TEST(Serialize, ForestFlavorSurvivesRoundTrip) {
+  const Dataset d = tiny_data(8);
+  Forest extra(extra_trees_config(5));
+  extra.fit(d);
+  std::stringstream ss;
+  save_classifier(extra, ss);
+  const auto loaded = load_classifier(ss);
+  EXPECT_EQ(loaded->type_name(), "extra_trees");
+}
+
+}  // namespace
+}  // namespace rush::ml

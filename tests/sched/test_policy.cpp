@@ -1,0 +1,71 @@
+#include "sched/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/oracle.hpp"
+
+namespace rush::sched {
+namespace {
+
+Job make_job(JobId id, double submit, double walltime) {
+  Job j;
+  j.id = id;
+  j.submit_s = submit;
+  j.spec.walltime_estimate_s = walltime;
+  return j;
+}
+
+TEST(Policy, FcfsOrdersBySubmitTime) {
+  FcfsPolicy fcfs;
+  const Job early = make_job(2, 10.0, 100.0);
+  const Job late = make_job(1, 20.0, 10.0);
+  EXPECT_TRUE(fcfs.before(early, late));
+  EXPECT_FALSE(fcfs.before(late, early));
+  EXPECT_EQ(fcfs.name(), "fcfs");
+}
+
+TEST(Policy, FcfsBreaksTiesById) {
+  FcfsPolicy fcfs;
+  const Job a = make_job(1, 10.0, 100.0);
+  const Job b = make_job(2, 10.0, 100.0);
+  EXPECT_TRUE(fcfs.before(a, b));
+  EXPECT_FALSE(fcfs.before(b, a));
+}
+
+TEST(Policy, SjfOrdersByWalltimeEstimate) {
+  SjfPolicy sjf;
+  const Job shorter = make_job(5, 50.0, 60.0);
+  const Job longer = make_job(1, 1.0, 600.0);
+  EXPECT_TRUE(sjf.before(shorter, longer));
+  EXPECT_FALSE(sjf.before(longer, shorter));
+  EXPECT_EQ(sjf.name(), "sjf");
+}
+
+TEST(Policy, SjfBreaksTiesById) {
+  SjfPolicy sjf;
+  const Job a = make_job(3, 0.0, 60.0);
+  const Job b = make_job(7, 0.0, 60.0);
+  EXPECT_TRUE(sjf.before(a, b));
+}
+
+TEST(Policy, OrderingsAreIrreflexive) {
+  const Job a = make_job(1, 10.0, 100.0);
+  EXPECT_FALSE(FcfsPolicy{}.before(a, a));
+  EXPECT_FALSE(SjfPolicy{}.before(a, a));
+}
+
+TEST(Policy, FactoryByName) {
+  EXPECT_EQ(make_policy("fcfs")->name(), "fcfs");
+  EXPECT_EQ(make_policy("sjf")->name(), "sjf");
+  EXPECT_THROW((void)make_policy("priority"), ParseError);
+}
+
+TEST(Policy, PredictionNames) {
+  EXPECT_STREQ(prediction_name(VariabilityPrediction::NoVariation), "no-variation");
+  EXPECT_STREQ(prediction_name(VariabilityPrediction::LittleVariation), "little-variation");
+  EXPECT_STREQ(prediction_name(VariabilityPrediction::Variation), "variation");
+}
+
+}  // namespace
+}  // namespace rush::sched

@@ -1,0 +1,104 @@
+#include "telemetry/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "telemetry/schema.hpp"
+
+namespace rush::telemetry {
+namespace {
+
+TEST(Features, CountMatchesPaper) {
+  EXPECT_EQ(FeatureAssembler::kNumFeatures, 282u);
+  EXPECT_EQ(FeatureAssembler::kCounterFeatures, 270u);
+  EXPECT_EQ(FeatureAssembler::feature_names().size(), 282u);
+}
+
+TEST(Features, NamesAreUnique) {
+  const auto names = FeatureAssembler::feature_names();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Features, NamesFollowLayout) {
+  const auto names = FeatureAssembler::feature_names();
+  EXPECT_EQ(names[0], "min_sysclassib.port_xmit_data");
+  EXPECT_EQ(names[1], "max_sysclassib.port_xmit_data");
+  EXPECT_EQ(names[2], "mean_sysclassib.port_xmit_data");
+  EXPECT_EQ(names[270], "canary_send_min");
+  EXPECT_EQ(names[278], "canary_allreduce_mean");
+  EXPECT_EQ(names[279], "class_compute");
+  EXPECT_EQ(names[280], "class_network");
+  EXPECT_EQ(names[281], "class_io");
+}
+
+class FeatureAssemblyTest : public ::testing::Test {
+ protected:
+  FeatureAssemblyTest() : store_({0, 1, 2, 3}, num_counters(), 10), assembler_(store_, 300.0) {
+    // Two frames with node 0 hotter than the rest on every counter.
+    std::vector<float> values(4 * num_counters(), 1.0F);
+    for (std::size_t c = 0; c < num_counters(); ++c) values[c] = 5.0F;
+    store_.add_frame(100.0, values);
+    store_.add_frame(130.0, values);
+    canary_.send_wait_s = {0.1, 0.2};
+    canary_.recv_wait_s = {0.3, 0.4};
+    canary_.allreduce_wait_s = {0.5, 0.6};
+  }
+  CounterStore store_;
+  FeatureAssembler assembler_;
+  CanaryResult canary_;
+};
+
+TEST_F(FeatureAssemblyTest, VectorHasExpectedSections) {
+  const auto v = assembler_.assemble(150.0, AggregationScope::AllNodes, {0, 1}, canary_,
+                                     WorkloadClass::Network);
+  ASSERT_EQ(v.size(), FeatureAssembler::kNumFeatures);
+  // Counter 0 over all nodes: min 1, max 5, mean 2.
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  // Canary block.
+  EXPECT_DOUBLE_EQ(v[270], 0.1);
+  EXPECT_DOUBLE_EQ(v[271], 0.2);
+  // One-hot workload class.
+  EXPECT_DOUBLE_EQ(v[279], 0.0);
+  EXPECT_DOUBLE_EQ(v[280], 1.0);
+  EXPECT_DOUBLE_EQ(v[281], 0.0);
+}
+
+TEST_F(FeatureAssemblyTest, JobScopeRestrictsToJobNodes) {
+  // Job nodes {1, 2} exclude the hot node 0: max should be 1, not 5.
+  const auto v = assembler_.assemble(150.0, AggregationScope::JobNodes, {1, 2}, canary_,
+                                     WorkloadClass::Compute);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  // While all-node scope still sees the hot node.
+  const auto all = assembler_.assemble(150.0, AggregationScope::AllNodes, {1, 2}, canary_,
+                                       WorkloadClass::Compute);
+  EXPECT_DOUBLE_EQ(all[1], 5.0);
+}
+
+TEST_F(FeatureAssemblyTest, WindowExcludesOldFrames) {
+  // At t=500 the frames at 100/130 fall outside the 300 s window.
+  const auto v = assembler_.assemble(500.0, AggregationScope::AllNodes, {0}, canary_,
+                                     WorkloadClass::Io);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  // Class one-hot is still present.
+  EXPECT_DOUBLE_EQ(v[281], 1.0);
+}
+
+TEST(Features, WorkloadClassNames) {
+  EXPECT_STREQ(workload_class_name(WorkloadClass::Compute), "compute");
+  EXPECT_STREQ(workload_class_name(WorkloadClass::Network), "network");
+  EXPECT_STREQ(workload_class_name(WorkloadClass::Io), "io");
+}
+
+TEST(Features, RejectsBadWindow) {
+  CounterStore store({0}, num_counters(), 4);
+  EXPECT_THROW(FeatureAssembler(store, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rush::telemetry {
+namespace {
+
+constexpr std::size_t kCounters = 3;
+
+cluster::NodeSet nodes3() { return {10, 20, 30}; }
+
+std::vector<float> frame(std::initializer_list<float> values) {
+  return std::vector<float>(values);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : store_(nodes3(), kCounters, 4) {}
+  CounterStore store_;
+};
+
+TEST_F(StoreTest, EmptyStoreReturnsZeros) {
+  const auto aggs = store_.aggregate_all(0.0, 100.0);
+  ASSERT_EQ(aggs.size(), kCounters);
+  for (const Agg& a : aggs) {
+    EXPECT_EQ(a.min, 0.0);
+    EXPECT_EQ(a.max, 0.0);
+    EXPECT_EQ(a.mean, 0.0);
+  }
+  EXPECT_EQ(store_.frames_in(0.0, 100.0), 0u);
+  EXPECT_EQ(store_.latest(10, 0), 0.0);
+}
+
+TEST_F(StoreTest, SingleFrameAggregates) {
+  // node-major: node10=(1,2,3), node20=(4,5,6), node30=(7,8,9)
+  store_.add_frame(5.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  const auto aggs = store_.aggregate_all(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(aggs[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(aggs[0].max, 7.0);
+  EXPECT_DOUBLE_EQ(aggs[0].mean, 4.0);
+  EXPECT_DOUBLE_EQ(aggs[2].min, 3.0);
+  EXPECT_DOUBLE_EQ(aggs[2].max, 9.0);
+  EXPECT_DOUBLE_EQ(aggs[2].mean, 6.0);
+}
+
+TEST_F(StoreTest, SubsetAggregationMatchesManualComputation) {
+  store_.add_frame(1.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  store_.add_frame(2.0, frame({2, 2, 2, 10, 10, 10, 0, 0, 0}));
+  const auto aggs = store_.aggregate_nodes(0.0, 3.0, {10, 30});
+  // Counter 0 over nodes {10,30} and both frames: values {1,7,2,0}.
+  EXPECT_DOUBLE_EQ(aggs[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(aggs[0].max, 7.0);
+  EXPECT_DOUBLE_EQ(aggs[0].mean, 2.5);
+}
+
+TEST_F(StoreTest, AllNodesEqualsSubsetOfEverything) {
+  store_.add_frame(1.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  store_.add_frame(2.0, frame({9, 8, 7, 6, 5, 4, 3, 2, 1}));
+  const auto all = store_.aggregate_all(0.0, 3.0);
+  const auto subset = store_.aggregate_nodes(0.0, 3.0, nodes3());
+  for (std::size_t c = 0; c < kCounters; ++c) {
+    EXPECT_DOUBLE_EQ(all[c].min, subset[c].min);
+    EXPECT_DOUBLE_EQ(all[c].max, subset[c].max);
+    EXPECT_NEAR(all[c].mean, subset[c].mean, 1e-12);
+  }
+}
+
+TEST_F(StoreTest, WindowFiltersByTime) {
+  store_.add_frame(1.0, frame({1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  store_.add_frame(5.0, frame({5, 5, 5, 5, 5, 5, 5, 5, 5}));
+  store_.add_frame(9.0, frame({9, 9, 9, 9, 9, 9, 9, 9, 9}));
+  EXPECT_EQ(store_.frames_in(4.0, 6.0), 1u);
+  const auto aggs = store_.aggregate_all(4.0, 6.0);
+  EXPECT_DOUBLE_EQ(aggs[0].min, 5.0);
+  EXPECT_DOUBLE_EQ(aggs[0].max, 5.0);
+  // Window boundaries are inclusive.
+  EXPECT_EQ(store_.frames_in(1.0, 9.0), 3u);
+}
+
+TEST_F(StoreTest, CapacityEvictsOldestFrames) {
+  for (int i = 0; i < 6; ++i) {
+    const auto v = static_cast<float>(i);
+    store_.add_frame(static_cast<double>(i), frame({v, v, v, v, v, v, v, v, v}));
+  }
+  EXPECT_EQ(store_.frame_count(), 4u);        // capacity
+  EXPECT_EQ(store_.frames_in(0.0, 1.0), 0u);  // evicted
+  EXPECT_EQ(store_.frames_in(2.0, 5.0), 4u);
+}
+
+TEST_F(StoreTest, LatestReadsNewestFrame) {
+  store_.add_frame(1.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  store_.add_frame(2.0, frame({10, 20, 30, 40, 50, 60, 70, 80, 90}));
+  EXPECT_DOUBLE_EQ(store_.latest(20, 1), 50.0);
+}
+
+TEST_F(StoreTest, ClearDropsEverything) {
+  store_.add_frame(1.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  store_.clear();
+  EXPECT_EQ(store_.frame_count(), 0u);
+}
+
+TEST_F(StoreTest, PreconditionViolations) {
+  EXPECT_THROW(store_.add_frame(1.0, std::vector<float>(5)), PreconditionError);  // wrong size
+  store_.add_frame(5.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_THROW(store_.add_frame(4.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9})),
+               PreconditionError);  // time went backwards
+  EXPECT_THROW((void)store_.aggregate_nodes(0.0, 10.0, {99}), PreconditionError);  // unmanaged
+  EXPECT_THROW((void)store_.latest(10, 99), PreconditionError);
+  EXPECT_THROW(CounterStore(nodes3(), 0, 4), PreconditionError);
+  EXPECT_THROW(CounterStore(nodes3(), 3, 0), PreconditionError);
+  EXPECT_THROW(CounterStore({}, 3, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rush::telemetry
