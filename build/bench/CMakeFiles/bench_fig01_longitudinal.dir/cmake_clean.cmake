@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_longitudinal.dir/bench_fig01_longitudinal.cpp.o"
+  "CMakeFiles/bench_fig01_longitudinal.dir/bench_fig01_longitudinal.cpp.o.d"
+  "bench_fig01_longitudinal"
+  "bench_fig01_longitudinal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_generalization.dir/bench_fig04_generalization.cpp.o"
+  "CMakeFiles/bench_fig04_generalization.dir/bench_fig04_generalization.cpp.o.d"
+  "bench_fig04_generalization"
+  "bench_fig04_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_adaa_variation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_pdpa_runtimes.dir/bench_fig07_pdpa_runtimes.cpp.o"
+  "CMakeFiles/bench_fig07_pdpa_runtimes.dir/bench_fig07_pdpa_runtimes.cpp.o.d"
+  "bench_fig07_pdpa_runtimes"
+  "bench_fig07_pdpa_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pdpa_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_makespan.dir/bench_fig10_makespan.cpp.o"
+  "CMakeFiles/bench_fig10_makespan.dir/bench_fig10_makespan.cpp.o.d"
+  "bench_fig10_makespan"
+  "bench_fig10_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

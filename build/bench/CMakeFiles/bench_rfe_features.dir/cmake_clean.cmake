@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rfe_features.dir/bench_rfe_features.cpp.o"
+  "CMakeFiles/bench_rfe_features.dir/bench_rfe_features.cpp.o.d"
+  "bench_rfe_features"
+  "bench_rfe_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rfe_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

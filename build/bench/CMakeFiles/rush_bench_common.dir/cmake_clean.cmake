@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/rush_bench_common.dir/bench_common.cpp.o.d"
+  "librush_bench_common.a"
+  "librush_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_export.dir/model_export.cpp.o"
+  "CMakeFiles/model_export.dir/model_export.cpp.o.d"
+  "model_export"
+  "model_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability_study.dir/variability_study.cpp.o"
+  "CMakeFiles/variability_study.dir/variability_study.cpp.o.d"
+  "variability_study"
+  "variability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/execution.cpp" "src/apps/CMakeFiles/rush_apps.dir/execution.cpp.o" "gcc" "src/apps/CMakeFiles/rush_apps.dir/execution.cpp.o.d"
+  "/root/repo/src/apps/noise.cpp" "src/apps/CMakeFiles/rush_apps.dir/noise.cpp.o" "gcc" "src/apps/CMakeFiles/rush_apps.dir/noise.cpp.o.d"
+  "/root/repo/src/apps/profiler.cpp" "src/apps/CMakeFiles/rush_apps.dir/profiler.cpp.o" "gcc" "src/apps/CMakeFiles/rush_apps.dir/profiler.cpp.o.d"
+  "/root/repo/src/apps/profiles.cpp" "src/apps/CMakeFiles/rush_apps.dir/profiles.cpp.o" "gcc" "src/apps/CMakeFiles/rush_apps.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/rush_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_apps.dir/execution.cpp.o"
+  "CMakeFiles/rush_apps.dir/execution.cpp.o.d"
+  "CMakeFiles/rush_apps.dir/noise.cpp.o"
+  "CMakeFiles/rush_apps.dir/noise.cpp.o.d"
+  "CMakeFiles/rush_apps.dir/profiler.cpp.o"
+  "CMakeFiles/rush_apps.dir/profiler.cpp.o.d"
+  "CMakeFiles/rush_apps.dir/profiles.cpp.o"
+  "CMakeFiles/rush_apps.dir/profiles.cpp.o.d"
+  "librush_apps.a"
+  "librush_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush.dir/main.cpp.o"
+  "CMakeFiles/rush.dir/main.cpp.o.d"
+  "rush"
+  "rush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

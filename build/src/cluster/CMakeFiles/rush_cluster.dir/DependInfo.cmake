@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cpp" "src/cluster/CMakeFiles/rush_cluster.dir/allocator.cpp.o" "gcc" "src/cluster/CMakeFiles/rush_cluster.dir/allocator.cpp.o.d"
+  "/root/repo/src/cluster/background.cpp" "src/cluster/CMakeFiles/rush_cluster.dir/background.cpp.o" "gcc" "src/cluster/CMakeFiles/rush_cluster.dir/background.cpp.o.d"
+  "/root/repo/src/cluster/lustre.cpp" "src/cluster/CMakeFiles/rush_cluster.dir/lustre.cpp.o" "gcc" "src/cluster/CMakeFiles/rush_cluster.dir/lustre.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/rush_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/rush_cluster.dir/network.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/cluster/CMakeFiles/rush_cluster.dir/topology.cpp.o" "gcc" "src/cluster/CMakeFiles/rush_cluster.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_cluster.dir/allocator.cpp.o"
+  "CMakeFiles/rush_cluster.dir/allocator.cpp.o.d"
+  "CMakeFiles/rush_cluster.dir/background.cpp.o"
+  "CMakeFiles/rush_cluster.dir/background.cpp.o.d"
+  "CMakeFiles/rush_cluster.dir/lustre.cpp.o"
+  "CMakeFiles/rush_cluster.dir/lustre.cpp.o.d"
+  "CMakeFiles/rush_cluster.dir/network.cpp.o"
+  "CMakeFiles/rush_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/rush_cluster.dir/topology.cpp.o"
+  "CMakeFiles/rush_cluster.dir/topology.cpp.o.d"
+  "librush_cluster.a"
+  "librush_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_common.dir/csv.cpp.o"
+  "CMakeFiles/rush_common.dir/csv.cpp.o.d"
+  "CMakeFiles/rush_common.dir/rng.cpp.o"
+  "CMakeFiles/rush_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rush_common.dir/stats.cpp.o"
+  "CMakeFiles/rush_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rush_common.dir/strings.cpp.o"
+  "CMakeFiles/rush_common.dir/strings.cpp.o.d"
+  "CMakeFiles/rush_common.dir/table.cpp.o"
+  "CMakeFiles/rush_common.dir/table.cpp.o.d"
+  "librush_common.a"
+  "librush_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

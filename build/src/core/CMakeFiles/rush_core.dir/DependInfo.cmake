@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/rush_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/corpus.cpp" "src/core/CMakeFiles/rush_core.dir/corpus.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/corpus.cpp.o.d"
+  "/root/repo/src/core/environment.cpp" "src/core/CMakeFiles/rush_core.dir/environment.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/environment.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/rush_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/labeler.cpp" "src/core/CMakeFiles/rush_core.dir/labeler.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/labeler.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rush_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rush_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/result_io.cpp" "src/core/CMakeFiles/rush_core.dir/result_io.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/result_io.cpp.o.d"
+  "/root/repo/src/core/rush_oracle.cpp" "src/core/CMakeFiles/rush_core.dir/rush_oracle.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/rush_oracle.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/rush_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/swf.cpp" "src/core/CMakeFiles/rush_core.dir/swf.cpp.o" "gcc" "src/core/CMakeFiles/rush_core.dir/swf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/rush_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rush_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rush_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rush_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

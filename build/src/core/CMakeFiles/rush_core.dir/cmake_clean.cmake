@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_core.dir/collector.cpp.o"
+  "CMakeFiles/rush_core.dir/collector.cpp.o.d"
+  "CMakeFiles/rush_core.dir/corpus.cpp.o"
+  "CMakeFiles/rush_core.dir/corpus.cpp.o.d"
+  "CMakeFiles/rush_core.dir/environment.cpp.o"
+  "CMakeFiles/rush_core.dir/environment.cpp.o.d"
+  "CMakeFiles/rush_core.dir/experiment.cpp.o"
+  "CMakeFiles/rush_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rush_core.dir/labeler.cpp.o"
+  "CMakeFiles/rush_core.dir/labeler.cpp.o.d"
+  "CMakeFiles/rush_core.dir/pipeline.cpp.o"
+  "CMakeFiles/rush_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rush_core.dir/report.cpp.o"
+  "CMakeFiles/rush_core.dir/report.cpp.o.d"
+  "CMakeFiles/rush_core.dir/result_io.cpp.o"
+  "CMakeFiles/rush_core.dir/result_io.cpp.o.d"
+  "CMakeFiles/rush_core.dir/rush_oracle.cpp.o"
+  "CMakeFiles/rush_core.dir/rush_oracle.cpp.o.d"
+  "CMakeFiles/rush_core.dir/session.cpp.o"
+  "CMakeFiles/rush_core.dir/session.cpp.o.d"
+  "CMakeFiles/rush_core.dir/swf.cpp.o"
+  "CMakeFiles/rush_core.dir/swf.cpp.o.d"
+  "librush_core.a"
+  "librush_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/rush_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/rush_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/rush_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/rush_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/rush_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/rfe.cpp" "src/ml/CMakeFiles/rush_ml.dir/rfe.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/rfe.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/rush_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/rush_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/rush_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/tree.cpp.o.d"
+  "/root/repo/src/ml/validation.cpp" "src/ml/CMakeFiles/rush_ml.dir/validation.cpp.o" "gcc" "src/ml/CMakeFiles/rush_ml.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

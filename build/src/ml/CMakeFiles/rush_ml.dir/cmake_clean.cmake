@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/rush_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/dataset.cpp.o"
+  "CMakeFiles/rush_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/forest.cpp.o"
+  "CMakeFiles/rush_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/knn.cpp.o"
+  "CMakeFiles/rush_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/metrics.cpp.o"
+  "CMakeFiles/rush_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/rfe.cpp.o"
+  "CMakeFiles/rush_ml.dir/rfe.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/scaler.cpp.o"
+  "CMakeFiles/rush_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/serialize.cpp.o"
+  "CMakeFiles/rush_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/tree.cpp.o"
+  "CMakeFiles/rush_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/rush_ml.dir/validation.cpp.o"
+  "CMakeFiles/rush_ml.dir/validation.cpp.o.d"
+  "librush_ml.a"
+  "librush_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

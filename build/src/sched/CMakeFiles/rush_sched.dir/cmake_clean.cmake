@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_sched.dir/policy.cpp.o"
+  "CMakeFiles/rush_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/rush_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/rush_sched.dir/scheduler.cpp.o.d"
+  "librush_sched.a"
+  "librush_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/canary.cpp" "src/telemetry/CMakeFiles/rush_telemetry.dir/canary.cpp.o" "gcc" "src/telemetry/CMakeFiles/rush_telemetry.dir/canary.cpp.o.d"
+  "/root/repo/src/telemetry/features.cpp" "src/telemetry/CMakeFiles/rush_telemetry.dir/features.cpp.o" "gcc" "src/telemetry/CMakeFiles/rush_telemetry.dir/features.cpp.o.d"
+  "/root/repo/src/telemetry/sampler.cpp" "src/telemetry/CMakeFiles/rush_telemetry.dir/sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/rush_telemetry.dir/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/schema.cpp" "src/telemetry/CMakeFiles/rush_telemetry.dir/schema.cpp.o" "gcc" "src/telemetry/CMakeFiles/rush_telemetry.dir/schema.cpp.o.d"
+  "/root/repo/src/telemetry/store.cpp" "src/telemetry/CMakeFiles/rush_telemetry.dir/store.cpp.o" "gcc" "src/telemetry/CMakeFiles/rush_telemetry.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_telemetry.dir/canary.cpp.o"
+  "CMakeFiles/rush_telemetry.dir/canary.cpp.o.d"
+  "CMakeFiles/rush_telemetry.dir/features.cpp.o"
+  "CMakeFiles/rush_telemetry.dir/features.cpp.o.d"
+  "CMakeFiles/rush_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/rush_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/rush_telemetry.dir/schema.cpp.o"
+  "CMakeFiles/rush_telemetry.dir/schema.cpp.o.d"
+  "CMakeFiles/rush_telemetry.dir/store.cpp.o"
+  "CMakeFiles/rush_telemetry.dir/store.cpp.o.d"
+  "librush_telemetry.a"
+  "librush_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canary.dir/telemetry/test_canary.cpp.o"
+  "CMakeFiles/test_canary.dir/telemetry/test_canary.cpp.o.d"
+  "test_canary"
+  "test_canary.pdb"
+  "test_canary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfe.dir/ml/test_rfe.cpp.o"
+  "CMakeFiles/test_rfe.dir/ml/test_rfe.cpp.o.d"
+  "test_rfe"
+  "test_rfe.pdb"
+  "test_rfe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

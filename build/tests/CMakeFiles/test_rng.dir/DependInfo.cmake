@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_rng.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/common/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rush_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rush_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rush_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rush_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/rush_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
