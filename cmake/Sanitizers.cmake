@@ -1,0 +1,45 @@
+# Sanitizer toggles (layer 1 of the correctness harness).
+#
+# RUSH_SANITIZE is a comma- or semicolon-separated subset of
+# {address, undefined, thread}; thread cannot be combined with address.
+# Flags are applied globally so every library, test, bench, and example
+# target — including gtest test discovery, which executes the binaries at
+# build time — runs instrumented. Use via the presets:
+#   cmake --preset asan-ubsan && cmake --build --preset asan-ubsan
+#   ctest --preset asan-ubsan
+
+set(RUSH_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: comma-separated subset of address,undefined,thread")
+
+function(rush_enable_sanitizers)
+  if(NOT RUSH_SANITIZE)
+    return()
+  endif()
+
+  string(REPLACE "," ";" _rush_san_list "${RUSH_SANITIZE}")
+  set(_rush_san_flags "")
+  foreach(_san IN LISTS _rush_san_list)
+    string(STRIP "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _rush_san_flags -fsanitize=address -fno-omit-frame-pointer)
+    elseif(_san STREQUAL "undefined")
+      list(APPEND _rush_san_flags -fsanitize=undefined -fno-sanitize-recover=undefined)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _rush_san_flags -fsanitize=thread)
+    else()
+      message(FATAL_ERROR "RUSH_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+
+  if("address" IN_LIST _rush_san_list AND "thread" IN_LIST _rush_san_list)
+    message(FATAL_ERROR "RUSH_SANITIZE: address and thread sanitizers are mutually exclusive")
+  endif()
+
+  list(REMOVE_DUPLICATES _rush_san_flags)
+  message(STATUS "RUSH: sanitizers enabled: ${RUSH_SANITIZE}")
+  add_compile_options(${_rush_san_flags})
+  add_link_options(${_rush_san_flags})
+endfunction()
+
+rush_enable_sanitizers()

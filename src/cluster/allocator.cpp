@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace rush::cluster {
@@ -43,6 +44,7 @@ std::optional<NodeSet> NodeAllocator::allocate(int count) {
           out.push_back(managed_[j]);
         }
         free_count_ -= count;
+        RUSH_AUDIT_HOOK(audit_invariants());
         return out;
       }
     } else {
@@ -61,7 +63,19 @@ std::optional<NodeSet> NodeAllocator::allocate(int count) {
   }
   RUSH_ASSERT(out.size() == need);
   free_count_ -= count;
+  RUSH_AUDIT_HOOK(audit_invariants());
   return out;
+}
+
+void NodeAllocator::audit_invariants() const {
+  RUSH_AUDIT_CHECK(std::is_sorted(managed_.begin(), managed_.end()), "");
+  RUSH_AUDIT_CHECK(std::adjacent_find(managed_.begin(), managed_.end()) == managed_.end(),
+                   "duplicate managed node");
+  RUSH_AUDIT_CHECK(free_.size() == managed_.size(), "bitmap not parallel to managed set");
+  const auto actually_free = std::count(free_.begin(), free_.end(), true);
+  RUSH_AUDIT_CHECK(free_count_ == static_cast<int>(actually_free),
+                   "free_count_=" + std::to_string(free_count_) + " but bitmap has " +
+                       std::to_string(actually_free) + " free bits");
 }
 
 void NodeAllocator::release(const NodeSet& nodes) {
@@ -72,6 +86,7 @@ void NodeAllocator::release(const NodeSet& nodes) {
     free_[*idx] = true;
     ++free_count_;
   }
+  RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 bool NodeAllocator::is_free(NodeId node) const {

@@ -12,6 +12,8 @@
 
 namespace rush::cluster {
 
+struct AuditTestPeer;  // test-only state corruption (tests/audit)
+
 class NodeAllocator {
  public:
   /// Manages exactly the nodes in `managed` (sorted, unique). This is how
@@ -32,7 +34,14 @@ class NodeAllocator {
   [[nodiscard]] bool is_free(NodeId node) const;
   [[nodiscard]] const NodeSet& managed_nodes() const noexcept { return managed_; }
 
+  /// Re-derives the allocation bitmap bookkeeping and throws AuditError on
+  /// corruption: managed_ stays sorted/unique, the bitmap stays parallel
+  /// to it, and free_count_ equals the number of set bits. Called
+  /// automatically after allocate/release in RUSH_AUDIT builds.
+  void audit_invariants() const;
+
  private:
+  friend struct AuditTestPeer;
   [[nodiscard]] std::optional<std::size_t> find_index(NodeId node) const noexcept;
 
   NodeSet managed_;         // sorted

@@ -1,9 +1,11 @@
 #include "cluster/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "cluster/congestion.hpp"
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace rush::cluster {
@@ -134,6 +136,32 @@ void NetworkModel::recompute() const {
     for (const LinkShare& s : shares) loads_[static_cast<std::size_t>(s.link)] += s.gbps;
   }
   dirty_ = false;
+  RUSH_AUDIT_HOOK(audit_invariants());
+}
+
+void NetworkModel::audit_invariants() const {
+  RUSH_AUDIT_CHECK(ambient_.size() == static_cast<std::size_t>(tree_.num_links()), "");
+  RUSH_AUDIT_CHECK(loads_.size() == ambient_.size(), "per-link load vector resized");
+  for (const auto& [id, src] : sources_) {
+    RUSH_AUDIT_CHECK(src.per_node_gbps >= 0.0,
+                     "source " + std::to_string(id) + " has negative rate");
+  }
+  if (dirty_) return;  // loads_ is stale by design until the next recompute
+  // Conservation: accumulated link load == ambient + sum of source demands.
+  std::vector<double> expected = ambient_;
+  std::vector<LinkShare> shares;
+  for (const auto& [id, src] : sources_) {
+    shares.clear();
+    map_flows(src, shares);
+    for (const LinkShare& s : shares) expected[static_cast<std::size_t>(s.link)] += s.gbps;
+  }
+  for (std::size_t l = 0; l < expected.size(); ++l) {
+    RUSH_AUDIT_CHECK(loads_[l] >= 0.0, "negative load on link " + std::to_string(l));
+    const double tol = 1e-9 * std::max(1.0, std::abs(expected[l]));
+    RUSH_AUDIT_CHECK(std::abs(loads_[l] - expected[l]) <= tol,
+                     "link " + std::to_string(l) + " load " + std::to_string(loads_[l]) +
+                         " != demand sum " + std::to_string(expected[l]));
+  }
 }
 
 double NetworkModel::worst_over_links(const std::vector<LinkShare>& shares,

@@ -37,6 +37,8 @@ struct TrafficSource {
   TrafficPattern pattern = TrafficPattern::AllToAll;
 };
 
+struct NetworkAuditTestPeer;  // test-only state corruption (tests/audit)
+
 class NetworkModel {
  public:
   explicit NetworkModel(const FatTree& tree);
@@ -76,7 +78,15 @@ class NetworkModel {
 
   [[nodiscard]] const FatTree& tree() const noexcept { return tree_; }
 
+  /// Per-link load conservation: independently re-maps every live source's
+  /// flows onto the link classes and checks that the cached per-link loads
+  /// equal ambient + the sum of those shares (and that no load or rate is
+  /// negative). Throws AuditError on any mismatch. Called automatically
+  /// after every recompute in RUSH_AUDIT builds.
+  void audit_invariants() const;
+
  private:
+  friend struct NetworkAuditTestPeer;
   struct LinkShare {
     LinkId link;
     double gbps;

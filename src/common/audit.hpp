@@ -1,0 +1,61 @@
+// Runtime invariant auditing (layer 3 of the correctness harness).
+//
+// Each hot subsystem (sim/engine, cluster/allocator, cluster/network,
+// telemetry/store) exposes an `audit_invariants()` method that re-derives
+// its internal state from first principles and throws AuditError on any
+// mismatch. The methods are always compiled (they are cold code and tests
+// call them directly), but the automatic hooks on every mutation are only
+// active when the build sets RUSH_AUDIT_ENABLED (CMake option RUSH_AUDIT,
+// on in the asan-ubsan preset) — a RUSH_AUDIT=OFF build pays nothing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rush {
+
+/// Thrown when a runtime audit finds corrupted internal state. Distinct
+/// from InvariantError so tests can tell "auditor fired" apart from an
+/// ordinary RUSH_ASSERT.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace audit {
+
+/// True when mutation hooks run automatically (RUSH_AUDIT=ON build).
+[[nodiscard]] constexpr bool enabled() noexcept {
+#if defined(RUSH_AUDIT_ENABLED) && RUSH_AUDIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+[[noreturn]] inline void audit_failure(const char* check, const char* file, int line,
+                                       const std::string& what) {
+  std::string msg = std::string("audit failed: ") + check + " at " + file + ":" +
+                    std::to_string(line);
+  if (!what.empty()) msg += " (" + what + ")";
+  throw AuditError(msg);
+}
+}  // namespace detail
+
+}  // namespace audit
+}  // namespace rush
+
+/// Verify one audited condition; `detail` is any expression convertible to
+/// std::string appended to the error message (pass "" when there is
+/// nothing useful to add).
+#define RUSH_AUDIT_CHECK(expr, msg) \
+  ((expr) ? (void)0 : ::rush::audit::detail::audit_failure(#expr, __FILE__, __LINE__, (msg)))
+
+/// Expands to `expr` in RUSH_AUDIT builds and to nothing otherwise. Used
+/// to wire `audit_invariants()` into mutating paths at zero cost when off.
+#if defined(RUSH_AUDIT_ENABLED) && RUSH_AUDIT_ENABLED
+#define RUSH_AUDIT_HOOK(expr) ((void)(expr))
+#else
+#define RUSH_AUDIT_HOOK(expr) ((void)0)
+#endif

@@ -51,7 +51,7 @@ std::vector<SwfJob> read_swf(std::istream& is) {
     std::istringstream fields{std::string(trimmed)};
     SwfJob job;
     double req_procs = 0, req_time = 0, skip1 = 0, skip2 = 0, mem = 0, req_mem = 0;
-    double status = 0, user = 0, group = 0, exe = 0, queue = 0, partition = 0;
+    double status = 0, user = 0, group = 0, exe = 0, partition = 0;
     double prev = 0, think = 0;
     if (!(fields >> job.job_number >> job.submit_s >> job.wait_s >> job.run_s >> job.procs >>
           skip1 >> mem >> req_procs >> req_time >> req_mem >> status >> user >> group >> exe >>

@@ -113,6 +113,9 @@ Scheduler::Reservation Scheduler::compute_reservation(const Job& job) const {
   std::vector<std::pair<sim::Time, int>> frees;
   frees.reserve(running_.size());
   const sim::Time now = engine_.now();
+  // frees is fully sorted by (time, count) below, so the visit order
+  // here cannot leak into the result
+  // rush-lint: allow(unordered-iter)
   for (JobId id : running_) {
     const Job& r = jobs_.at(id);
     const sim::Time end_est = std::max(now, r.start_s + r.spec.walltime_estimate_s);

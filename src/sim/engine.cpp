@@ -1,13 +1,16 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace rush::sim {
 
 void Engine::push_event(Time t, EventId id, std::function<void()> fn) {
-  queue_.push(Event{t, id, std::move(fn)});
+  heap_.push_back(Event{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   queued_.insert(id);
 }
 
@@ -56,22 +59,42 @@ bool Engine::cancel(EventId id) {
 }
 
 bool Engine::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the handler is moved out via
-    // const_cast, which is safe because pop() follows immediately.
-    Event& top = const_cast<Event&>(queue_.top());
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
-      continue;
+  while (!heap_.empty()) {
+    // Owning the heap container (unlike std::priority_queue, whose top()
+    // is const) lets the handler be moved out of the root before the
+    // sift-down, so the element bubbling through the heap is empty.
+    Event& front = heap_.front();
+    if (cancelled_.erase(front.id) == 0) {
+      queued_.erase(front.id);
+      out.t = front.t;
+      out.id = front.id;
+      out.fn = std::move(front.fn);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      RUSH_AUDIT_HOOK(audit_invariants());
+      return true;
     }
-    out.t = top.t;
-    out.id = top.id;
-    out.fn = std::move(top.fn);
-    queue_.pop();
-    queued_.erase(out.id);
-    return true;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
   return false;
+}
+
+void Engine::audit_invariants() const {
+  RUSH_AUDIT_CHECK(std::is_heap(heap_.begin(), heap_.end(), Later{}), "");
+  std::size_t live = 0;
+  for (const Event& ev : heap_) {
+    RUSH_AUDIT_CHECK(ev.t >= now_, "event " + std::to_string(ev.id) + " at t=" +
+                                       std::to_string(ev.t) + " behind clock " +
+                                       std::to_string(now_));
+    RUSH_AUDIT_CHECK(ev.id < next_id_, "event id beyond id counter");
+    const bool is_live = queued_.contains(ev.id);
+    const bool is_cancelled = cancelled_.contains(ev.id);
+    RUSH_AUDIT_CHECK(is_live != is_cancelled,
+                     "event " + std::to_string(ev.id) + " tracked as neither/both");
+    if (is_live) ++live;
+  }
+  RUSH_AUDIT_CHECK(live == queued_.size(), "queued_ holds ids missing from the heap");
 }
 
 bool Engine::step() {
@@ -91,7 +114,7 @@ void Engine::run() {
 
 void Engine::run_until(Time t_end) {
   RUSH_EXPECTS(t_end >= now_);
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Peek through cancelled events to find the next live timestamp.
     Event ev;
     if (!pop_next(ev)) break;

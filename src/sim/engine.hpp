@@ -8,11 +8,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
 namespace rush::sim {
+
+struct AuditTestPeer;  // test-only state corruption (tests/audit)
 
 /// Simulated time in seconds since simulation start.
 using Time = double;
@@ -43,8 +44,8 @@ class Engine {
   EventId schedule_periodic(Time start, Time period, std::function<void()> fn);
 
   /// Cancel a pending event (or periodic task). Returns false if the event
-  /// already fired or was never scheduled.
-  bool cancel(EventId id);
+  /// already fired or was never scheduled. Any id is acceptable input.
+  bool cancel(EventId id);  // rush-lint: allow(missing-expects) unknown ids are defined to return false
 
   /// Run until the event queue is empty.
   void run();
@@ -60,7 +61,15 @@ class Engine {
   [[nodiscard]] std::size_t pending_events() const noexcept { return queued_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+  /// Re-derives the queue bookkeeping from scratch and throws AuditError
+  /// on corruption: the heap property must hold, no queued event may lie
+  /// in the past, and every heap entry must be tracked as exactly one of
+  /// live (queued_) or cancelled (cancelled_). Called automatically after
+  /// every pop in RUSH_AUDIT builds.
+  void audit_invariants() const;
+
  private:
+  friend struct AuditTestPeer;
   struct Event {
     Time t;
     EventId id;
@@ -80,8 +89,11 @@ class Engine {
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> queued_;     // live events in queue_
+  // Min-heap on (t, id) via std::push_heap/pop_heap. Owning the container
+  // (instead of std::priority_queue) gives pop_next a well-defined move
+  // out of the root and lets audit_invariants() inspect every element.
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> queued_;     // live events in heap_
   std::unordered_set<EventId> cancelled_;  // lazily removed on pop
   std::unordered_set<EventId> periodic_;   // active periodic task ids
 };

@@ -1,8 +1,10 @@
 #include "telemetry/store.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace rush::telemetry {
@@ -44,6 +46,43 @@ void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
   }
   frames_.push_back(std::move(frame));
   while (frames_.size() > capacity_frames_) frames_.pop_front();
+  RUSH_AUDIT_HOOK(audit_invariants());
+}
+
+void CounterStore::audit_invariants() const {
+  RUSH_AUDIT_CHECK(frames_.size() <= capacity_frames_, "eviction fell behind");
+  const Frame* prev = nullptr;
+  for (const Frame& f : frames_) {
+    if (prev != nullptr) {
+      RUSH_AUDIT_CHECK(prev->t <= f.t, "frame at t=" + std::to_string(f.t) +
+                                           " behind predecessor t=" + std::to_string(prev->t));
+    }
+    prev = &f;
+    RUSH_AUDIT_CHECK(f.values.size() == managed_.size() * num_counters_, "frame shape");
+    RUSH_AUDIT_CHECK(f.all_min.size() == num_counters_ && f.all_max.size() == num_counters_ &&
+                         f.all_sum.size() == num_counters_,
+                     "aggregate shape");
+  }
+  if (frames_.empty()) return;
+  // Recomputing aggregates for every frame on every hook would be
+  // quadratic; older frames were audited when they were newest.
+  const Frame& f = frames_.back();
+  for (std::size_t c = 0; c < num_counters_; ++c) {
+    float mn = std::numeric_limits<float>::max();
+    float mx = std::numeric_limits<float>::lowest();
+    double sum = 0.0;
+    for (std::size_t n = 0; n < managed_.size(); ++n) {
+      const float v = f.values[n * num_counters_ + c];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += static_cast<double>(v);
+    }
+    RUSH_AUDIT_CHECK(f.all_min[c] == mn && f.all_max[c] == mx,
+                     "stale min/max aggregate for counter " + std::to_string(c));
+    const double tol = 1e-9 * std::max(1.0, std::abs(sum));
+    RUSH_AUDIT_CHECK(std::abs(f.all_sum[c] - sum) <= tol,
+                     "stale sum aggregate for counter " + std::to_string(c));
+  }
 }
 
 std::size_t CounterStore::frames_in(sim::Time t0, sim::Time t1) const noexcept {

@@ -17,6 +17,8 @@
 
 namespace rush::telemetry {
 
+struct AuditTestPeer;  // test-only state corruption (tests/audit)
+
 /// min/max/mean of one counter over a (nodes x time) window.
 struct Agg {
   double min = 0.0;
@@ -54,7 +56,16 @@ class CounterStore {
 
   void clear();
 
+  /// Time-index ordering and frame-shape audit: frame timestamps must be
+  /// non-decreasing front to back, every frame must hold exactly
+  /// managed x counters values, and each frame's precomputed per-counter
+  /// aggregates must match a fresh recomputation from the raw values.
+  /// Throws AuditError on corruption. Called automatically after every
+  /// add_frame in RUSH_AUDIT builds.
+  void audit_invariants() const;
+
  private:
+  friend struct AuditTestPeer;
   struct Frame {
     sim::Time t;
     std::vector<float> values;           // managed x counters, node-major

@@ -1,0 +1,100 @@
+// RUSH_EXPECTS / RUSH_ASSERT / RUSH_AUDIT_CHECK contracts: the right
+// exception type, a message carrying the failed expression and file:line,
+// and no evaluation side effects on the success path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/audit.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+TEST(Error, ExpectsPassesOnTrue) {
+  int evaluations = 0;
+  RUSH_EXPECTS(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Error, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(RUSH_EXPECTS(1 + 1 == 3), rush::PreconditionError);
+}
+
+TEST(Error, AssertThrowsInvariantError) {
+  EXPECT_THROW(RUSH_ASSERT(false), rush::InvariantError);
+}
+
+TEST(Error, BothAreLogicErrors) {
+  EXPECT_THROW(RUSH_EXPECTS(false), std::logic_error);
+  EXPECT_THROW(RUSH_ASSERT(false), std::logic_error);
+}
+
+TEST(Error, ExpectsMessageCarriesExpressionAndLocation) {
+  try {
+    RUSH_EXPECTS(2 > 3);
+    FAIL() << "RUSH_EXPECTS did not throw";
+  } catch (const rush::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 > 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(":"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, AssertMessageCarriesExpressionAndLocation) {
+  try {
+    RUSH_ASSERT(1 == 2);
+    FAIL() << "RUSH_ASSERT did not throw";
+  } catch (const rush::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, LineNumberMatchesThrowSite) {
+  int line = 0;
+  try {
+    line = __LINE__ + 1;
+    RUSH_EXPECTS(false);
+    FAIL();
+  } catch (const rush::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find(":" + std::to_string(line)), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Error, ParseErrorIsRuntimeError) {
+  const rush::ParseError err("bad token");
+  EXPECT_STREQ(err.what(), "bad token");
+  EXPECT_THROW(throw rush::ParseError("x"), std::runtime_error);
+}
+
+TEST(Error, AuditCheckThrowsAuditErrorWithDetail) {
+  try {
+    RUSH_AUDIT_CHECK(0 == 1, "counter drifted by 3");
+    FAIL() << "RUSH_AUDIT_CHECK did not throw";
+  } catch (const rush::AuditError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("audit failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 == 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("counter drifted by 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, AuditErrorIsDistinctFromInvariantError) {
+  // Tests rely on telling "auditor fired" apart from RUSH_ASSERT.
+  EXPECT_THROW(RUSH_AUDIT_CHECK(false, ""), rush::AuditError);
+  try {
+    RUSH_AUDIT_CHECK(false, "");
+  } catch (const rush::InvariantError&) {
+    FAIL() << "AuditError must not derive from InvariantError";
+  } catch (const rush::AuditError&) {
+  }
+}
+
+}  // namespace

@@ -1,0 +1,455 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the RUSH codebase (layer 2 of the correctness
+harness — the rules clang-tidy cannot express).
+
+Rules
+-----
+naked-rand       rand()/srand()/std::random_device anywhere outside
+                 src/common/rng.* — all randomness must flow through the
+                 seeded, splittable RNG streams so runs stay reproducible.
+const-cast       const_cast is banned outright; restructure instead.
+unordered-iter   (sim/, sched/, core/ only) range-for over a
+                 std::unordered_map/set — iteration order is unspecified,
+                 and these subsystems feed ordered, deterministic output.
+missing-expects  (sim/, sched/ only) public non-const member functions
+                 that take arguments must validate them with RUSH_EXPECTS.
+
+Suppression: append `// rush-lint: allow(<rule>) <reason>` to the
+offending line, or place it on the line directly above. A reason is
+encouraged; reviewers see it.
+
+Usage:
+  rush_lint.py <path>...     lint files / directory trees, exit 1 on findings
+  rush_lint.py --self-test   prove every rule fires on a seeded violation
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+CXX_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
+UNORDERED_SCOPE = {"sim", "sched", "core"}
+EXPECTS_SCOPE = {"sim", "sched"}
+ALLOW_RE = re.compile(r"rush-lint:\s*allow\(([\w,\s-]+)\)")
+RAND_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
+CONST_CAST_RE = re.compile(r"\bconst_cast\b")
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*?:\s*\*?(?:this->)?([\w.>-]+)\s*\)")
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
+CLASS_RE = re.compile(r"^\s*(?:template\s*<[^<>]*>\s*)?(class|struct)\s+(\w+)")
+DECLARATOR_RE = re.compile(
+    r"(\w+)\s*\(([^;{}]*)\)\s*(const)?[^;{}()]*([;{])")
+NON_METHOD_NAMES = {
+    "if", "for", "while", "switch", "return", "sizeof", "static_assert",
+    "catch", "throw", "new", "delete", "assert", "decltype", "alignof",
+    "RUSH_EXPECTS", "RUSH_ASSERT", "RUSH_AUDIT_CHECK", "RUSH_AUDIT_HOOK",
+}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving offsets and
+    newlines so line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 2
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            for k in range(i + 1, min(j, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules_by_line(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Markers suppress their own line and the line below (1-based)."""
+    allowed: dict[int, set[str]] = {}
+    for ln, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            allowed.setdefault(ln, set()).update(rules)
+            allowed.setdefault(ln + 1, set()).update(rules)
+    return allowed
+
+
+def subsystem_of(path: Path) -> str | None:
+    parts = path.parts
+    return next((p for p in parts if p in {"sim", "sched", "core", "cluster",
+                                           "telemetry", "apps", "ml", "common",
+                                           "cli"}), None)
+
+
+def is_rng_home(path: Path) -> bool:
+    return "common" in path.parts and path.stem == "rng"
+
+
+class FileUnit:
+    def __init__(self, path: Path):
+        self.path = path
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.clean = strip_comments_and_strings(self.raw)
+        self.clean_lines = self.clean.splitlines()
+        self.allowed = allowed_rules_by_line(self.raw_lines)
+
+    def is_allowed(self, line: int, rule: str) -> bool:
+        return rule in self.allowed.get(line, set())
+
+
+def check_pattern_rule(unit: FileUnit, regex: re.Pattern, rule: str,
+                       message: str, findings: list[Finding]) -> None:
+    for ln, line in enumerate(unit.clean_lines, start=1):
+        if regex.search(line) and not unit.is_allowed(ln, rule):
+            findings.append(Finding(unit.path, ln, rule, message))
+
+
+def check_unordered_iter(unit: FileUnit, units_in_dir: list[FileUnit],
+                         findings: list[Finding]) -> None:
+    """Flag range-for over identifiers declared as unordered containers in
+    this file or its header/source siblings (same directory)."""
+    names: set[str] = set()
+    for sibling in units_in_dir:
+        for line in sibling.clean_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                names.add(m.group(1))
+    if not names:
+        return
+    for ln, line in enumerate(unit.clean_lines, start=1):
+        for m in RANGE_FOR_RE.finditer(line):
+            terminal = re.split(r"[.>-]+", m.group(1))[-1]
+            if terminal in names and not unit.is_allowed(ln, "unordered-iter"):
+                findings.append(Finding(
+                    unit.path, ln, "unordered-iter",
+                    f"iteration over unordered container '{terminal}' in a "
+                    "determinism-critical subsystem; iterate a sorted copy "
+                    "or justify with an allow marker"))
+
+
+def line_of_offset(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def body_after(text: str, open_brace: int) -> str:
+    """Text of the brace-balanced block starting at text[open_brace] == '{'."""
+    depth, i = 0, open_brace
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace:i + 1]
+        i += 1
+    return text[open_brace:]
+
+
+def public_regions(clean: str) -> list[tuple[str, int, int, int]]:
+    """Yield (class_name, start_off, end_off, body_depth) for public member
+    regions of every class/struct in comment-stripped text."""
+    regions: list[tuple[str, int, int, int]] = []
+    lines = clean.split("\n")
+    offsets: list[int] = []
+    off = 0
+    for line in lines:
+        offsets.append(off)
+        off += len(line) + 1
+
+    # Stack of open classes: (name, body_depth, access, region_start or None)
+    stack: list[dict] = []
+    depth = 0
+    pending: str | None = None  # class name seen, waiting for its '{'
+    pending_kind = "class"
+
+    def close_region(entry: dict, end: int) -> None:
+        if entry["region_start"] is not None:
+            regions.append((entry["name"], entry["region_start"], end,
+                            entry["body_depth"]))
+            entry["region_start"] = None
+
+    for ln, line in enumerate(lines):
+        cm = CLASS_RE.match(line)
+        if cm and ";" not in line.split("{")[0]:
+            pending, pending_kind = cm.group(2), cm.group(1)
+        am = ACCESS_RE.match(line)
+        if am and stack and depth == stack[-1]["body_depth"]:
+            entry = stack[-1]
+            here = offsets[ln]
+            if am.group(1) == "public":
+                if entry["region_start"] is None:
+                    entry["region_start"] = here
+            else:
+                close_region(entry, here)
+        for ci, ch in enumerate(line):
+            if ch == "{":
+                depth += 1
+                if pending is not None:
+                    start = offsets[ln] + ci + 1
+                    stack.append({
+                        "name": pending,
+                        "body_depth": depth,
+                        "region_start": start if pending_kind == "struct" else None,
+                    })
+                    pending = None
+            elif ch == "}":
+                if stack and depth == stack[-1]["body_depth"]:
+                    close_region(stack[-1], offsets[ln] + ci)
+                    stack.pop()
+                depth -= 1
+            elif ch == ";" and pending is not None and "{" not in line:
+                pending = None  # forward declaration
+    return regions
+
+
+def statement_start(text: str, pos: int) -> int:
+    """Offset just after the previous statement/region boundary."""
+    i = pos - 1
+    while i >= 0 and text[i] not in ";{}:":
+        i -= 1
+    return i + 1
+
+
+def find_definition_body(name: str, class_name: str,
+                         units_in_dir: list[FileUnit]) -> str | None:
+    pat = re.compile(re.escape(class_name) + r"\s*::\s*" + re.escape(name) + r"\s*\(")
+    for unit in units_in_dir:
+        if unit.path.suffix not in {".cpp", ".cc", ".cxx"}:
+            continue
+        for m in pat.finditer(unit.clean):
+            brace = unit.clean.find("{", m.end())
+            semi = unit.clean.find(";", m.end())
+            if brace >= 0 and (semi < 0 or brace < semi):
+                return body_after(unit.clean, brace)
+    return None
+
+
+def check_missing_expects(unit: FileUnit, units_in_dir: list[FileUnit],
+                          findings: list[Finding]) -> None:
+    if unit.path.suffix not in {".hpp", ".h"}:
+        return
+    clean = unit.clean
+    for class_name, start, end, depth in public_regions(clean):
+        region = clean[start:end]
+        local_depth = 0
+        for m in DECLARATOR_RE.finditer(region):
+            # Only member declarators at class-body depth: anything nested in
+            # an inline body is a call, not a declaration.
+            local_depth = region.count("{", 0, m.start()) - region.count("}", 0, m.start())
+            if local_depth != 0:
+                continue
+            name, params, constq, term = m.groups()
+            if constq or name in NON_METHOD_NAMES or name == class_name:
+                continue
+            stmt_begin = statement_start(region, m.start())
+            stmt = region[stmt_begin:m.end()]
+            if re.search(r"\b(static|friend|using|typedef|operator|return|else|throw)\b", stmt):
+                continue
+            prefix = region[stmt_begin:m.start(1)]
+            if not re.search(r"[\w>&*\]]\s+$", prefix):
+                continue  # no return type before the name: a macro or a call
+            params_norm = params.strip()
+            if params_norm in ("", "void"):
+                continue
+            tail = region[m.end() - 1:]
+            if term == ";" and re.search(r"=\s*(0|default|delete)\s*;", stmt + tail[:40]):
+                continue
+            line = line_of_offset(clean, start + m.start(4))
+            decl_line = line_of_offset(clean, start + m.start(1))
+            if any(unit.is_allowed(l, "missing-expects")
+                   for l in range(decl_line, line + 1)):
+                continue
+            if term == "{":
+                body = body_after(region, m.start(4))
+            else:
+                if re.search(r"=\s*(0|default|delete)", stmt):
+                    continue
+                body = find_definition_body(name, class_name, units_in_dir)
+                if body is None:
+                    continue  # defined elsewhere; out of this lint's sight
+            if "RUSH_EXPECTS" not in body:
+                findings.append(Finding(
+                    unit.path, decl_line, "missing-expects",
+                    f"public mutating API {class_name}::{name}() takes "
+                    "arguments but its definition never validates them with "
+                    "RUSH_EXPECTS"))
+
+
+def lint_files(paths: list[Path]) -> list[Finding]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(f for f in p.rglob("*") if f.suffix in CXX_SUFFIXES))
+        elif p.suffix in CXX_SUFFIXES:
+            files.append(p)
+
+    units = {f: FileUnit(f) for f in files}
+    by_dir: dict[Path, list[FileUnit]] = {}
+    for f, u in units.items():
+        by_dir.setdefault(f.parent, []).append(u)
+
+    findings: list[Finding] = []
+    for f, unit in units.items():
+        sub = subsystem_of(f)
+        if not is_rng_home(f):
+            check_pattern_rule(
+                unit, RAND_RE, "naked-rand",
+                "raw rand()/srand()/std::random_device breaks seeded "
+                "reproducibility; draw from common/rng streams", findings)
+        check_pattern_rule(
+            unit, CONST_CAST_RE, "const-cast",
+            "const_cast is banned; restructure ownership instead", findings)
+        if sub in UNORDERED_SCOPE:
+            check_unordered_iter(unit, by_dir[f.parent], findings)
+        if sub in EXPECTS_SCOPE:
+            check_missing_expects(unit, by_dir[f.parent], findings)
+    findings.sort(key=lambda x: (str(x.path), x.line))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: each rule must fire on a seeded violation and stay silent on a
+# clean file. Run as `rush_lint.py --self-test` (registered in ctest).
+
+SELF_TEST_CASES = {
+    "naked-rand": ("src/core/bad_rand.cpp", """
+        #include <cstdlib>
+        #include <random>
+        int roll() { return rand() % 6; }
+        std::random_device entropy;
+        """),
+    "const-cast": ("src/telemetry/bad_cast.cpp", """
+        void poke(const int* p) { *const_cast<int*>(p) = 1; }
+        """),
+    "unordered-iter": ("src/sched/bad_iter.cpp", """
+        #include <unordered_map>
+        #include <vector>
+        struct Table {
+          std::unordered_map<int, double> weights_;
+          std::vector<double> dump() {
+            std::vector<double> out;
+            for (const auto& [k, w] : weights_) out.push_back(w);
+            return out;
+          }
+        };
+        """),
+    "missing-expects": ("src/sim/bad_api.hpp", """
+        #pragma once
+        class Throttle {
+         public:
+          void set_limit(double per_s) { limit_ = per_s; }
+         private:
+          double limit_ = 0.0;
+        };
+        """),
+}
+
+CLEAN_CASE = ("src/sched/clean.hpp", """
+    #pragma once
+    #include <unordered_set>
+    #include <vector>
+    #include "common/error.hpp"
+    class Tracker {
+     public:
+      void add(int id) {
+        RUSH_EXPECTS(id >= 0);
+        live_.insert(id);
+      }
+      // rush-lint: allow(unordered-iter) accumulation is order-insensitive
+      [[nodiscard]] int total() const {
+        int sum = 0;
+        for (int id : live_) sum += id;  // rush-lint: allow(unordered-iter)
+        return sum;
+      }
+      [[nodiscard]] bool contains(int id) const { return live_.count(id) > 0; }
+     private:
+      std::unordered_set<int> live_;
+    };
+    """)
+
+
+def self_test() -> int:
+    import textwrap
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="rush_lint_selftest_") as tmp:
+        root = Path(tmp)
+        for rule, (rel, code) in SELF_TEST_CASES.items():
+            f = root / rel
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(textwrap.dedent(code))
+        clean_path = root / CLEAN_CASE[0]
+        clean_path.parent.mkdir(parents=True, exist_ok=True)
+        clean_path.write_text(textwrap.dedent(CLEAN_CASE[1]))
+
+        findings = lint_files([root / "src"])
+        fired = {f.rule for f in findings}
+        for rule, (rel, _) in SELF_TEST_CASES.items():
+            hits = [f for f in findings if f.rule == rule and rel.endswith(f.path.name)]
+            if not hits:
+                failures.append(f"rule '{rule}' did not fire on seeded violation {rel}")
+        clean_hits = [f for f in findings if f.path == clean_path]
+        if clean_hits:
+            failures.append("clean file produced findings: " +
+                            "; ".join(str(f) for f in clean_hits))
+        unexpected = fired - set(SELF_TEST_CASES)
+        if unexpected:
+            failures.append(f"unexpected rules fired: {sorted(unexpected)}")
+
+    if failures:
+        print("rush_lint self-test FAILED:")
+        for f in failures:
+            print("  -", f)
+        return 1
+    print(f"rush_lint self-test passed: all {len(SELF_TEST_CASES)} rules fire "
+          "on seeded violations and the clean file is quiet.")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    if argv[1] == "--self-test":
+        return self_test()
+    findings = lint_files([Path(a) for a in argv[1:]])
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nrush_lint: {len(findings)} finding(s).")
+        return 1
+    print("rush_lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
