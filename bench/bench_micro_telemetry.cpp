@@ -1,0 +1,94 @@
+// Micro-benchmarks of the indexed telemetry store (google-benchmark):
+// frame appends under eviction, binary-searched window counting, and the
+// prefix-aggregate window queries the feature pipeline issues on every
+// oracle evaluation. Part of the perf-baseline harness
+// (tools/bench_baseline.py -> BENCH_micro.json).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+#include "telemetry/schema.hpp"
+#include "telemetry/store.hpp"
+
+namespace {
+
+using namespace rush;
+
+constexpr std::size_t kFrames = 512;
+constexpr double kTickS = 30.0;
+
+/// One pod of the default machine: 512 nodes.
+cluster::NodeSet pod_nodes() {
+  cluster::FatTreeConfig cfg;
+  cfg.pods = 1;
+  return cluster::FatTree(cfg).nodes_in_pod(0);
+}
+
+telemetry::CounterStore full_store(Rng& rng, std::size_t frames = kFrames) {
+  const auto nodes = pod_nodes();
+  telemetry::CounterStore store(nodes, telemetry::num_counters(), frames);
+  std::vector<float> frame(nodes.size() * telemetry::num_counters());
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (auto& v : frame) v = static_cast<float>(rng.uniform());
+    store.add_frame(static_cast<double>(t) * kTickS, frame);
+  }
+  return store;
+}
+
+void BM_StoreAddFrameEvicting(benchmark::State& state) {
+  Rng rng(21);
+  auto store = full_store(rng);  // at capacity: every append evicts
+  const auto nodes = pod_nodes();
+  std::vector<float> frame(nodes.size() * telemetry::num_counters());
+  for (auto& v : frame) v = static_cast<float>(rng.uniform());
+  double t = static_cast<double>(kFrames) * kTickS;
+  for (auto _ : state) {
+    store.add_frame(t, frame);
+    t += kTickS;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frame.size()) * state.iterations());
+}
+BENCHMARK(BM_StoreAddFrameEvicting);
+
+void BM_StoreFramesIn(benchmark::State& state) {
+  Rng rng(22);
+  const auto store = full_store(rng);
+  const double t_end = static_cast<double>(kFrames) * kTickS;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.frames_in(0.25 * t_end, 0.75 * t_end));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreFramesIn);
+
+/// Whole-machine aggregate over a window of `range(0)` frames out of 512.
+void BM_StoreAggregateAll(benchmark::State& state) {
+  Rng rng(23);
+  const auto store = full_store(rng);
+  const auto window_frames = static_cast<double>(state.range(0));
+  const double t0 = 100.0 * kTickS;
+  const double t1 = t0 + (window_frames - 1.0) * kTickS;
+  for (auto _ : state) benchmark::DoNotOptimize(store.aggregate_all(t0, t1));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreAggregateAll)->Arg(8)->Arg(64)->Arg(256);
+
+/// 16-node job window aggregate (the per-candidate feature query).
+void BM_StoreAggregateNodes(benchmark::State& state) {
+  Rng rng(24);
+  const auto store = full_store(rng);
+  const auto managed = pod_nodes();
+  cluster::NodeSet job_nodes(managed.begin() + 64, managed.begin() + 80);
+  const double t0 = 400.0 * kTickS;
+  const double t1 = 410.0 * kTickS;
+  for (auto _ : state) benchmark::DoNotOptimize(store.aggregate_nodes(t0, t1, job_nodes));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreAggregateNodes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "cluster/congestion.hpp"
 #include "common/audit.hpp"
@@ -13,11 +12,38 @@ namespace rush::cluster {
 NetworkModel::NetworkModel(const FatTree& tree) : tree_(tree) {
   ambient_.assign(static_cast<std::size_t>(tree_.num_links()), 0.0);
   loads_.assign(ambient_.size(), 0.0);
+  edge_acc_.assign(static_cast<std::size_t>(tree_.num_edges()), 0.0);
+  pod_acc_.assign(static_cast<std::size_t>(tree_.num_pods()), 0.0);
+  touched_edges_.reserve(edge_acc_.size());
+  touched_pods_.reserve(pod_acc_.size());
 }
 
-void NetworkModel::mark_dirty() noexcept {
-  dirty_ = true;
-  ++generation_;
+void NetworkModel::bump_generation() noexcept { ++generation_; }
+
+void NetworkModel::aggregate_shares(std::vector<LinkShare>& shares) {
+  std::sort(shares.begin(), shares.end(),
+            [](const LinkShare& a, const LinkShare& b) { return a.link < b.link; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < shares.size();) {
+    LinkShare merged = shares[i];
+    for (++i; i < shares.size() && shares[i].link == merged.link; ++i) merged.gbps += shares[i].gbps;
+    shares[out++] = merged;
+  }
+  shares.resize(out);
+}
+
+void NetworkModel::apply_shares(const std::vector<LinkShare>& unit_shares, double scale) {
+  for (const LinkShare& s : unit_shares) {
+    double& load = loads_[static_cast<std::size_t>(s.link)];
+    load += scale * s.gbps;
+    // The true load is a sum of non-negative terms; anything below zero is
+    // cancellation residue from the delta chain.
+    if (load < 0.0) load = 0.0;
+  }
+}
+
+void NetworkModel::note_delta() {
+  if (++deltas_since_rebuild_ >= kRebuildPeriod) rebuild();
 }
 
 void NetworkModel::add_source(SourceId id, NodeSet nodes, double per_node_gbps,
@@ -25,23 +51,38 @@ void NetworkModel::add_source(SourceId id, NodeSet nodes, double per_node_gbps,
   RUSH_EXPECTS(valid_node_set(tree_, nodes));
   RUSH_EXPECTS(per_node_gbps >= 0.0);
   RUSH_EXPECTS(!sources_.contains(id));
-  sources_.emplace(id, TrafficSource{std::move(nodes), per_node_gbps, pattern});
-  mark_dirty();
+  SourceState state;
+  state.src = TrafficSource{std::move(nodes), per_node_gbps, pattern};
+  map_flows(state.src.nodes, 1.0, pattern, state.unit_shares);
+  aggregate_shares(state.unit_shares);
+  const auto& inserted = sources_.emplace(id, std::move(state)).first->second;
+  apply_shares(inserted.unit_shares, per_node_gbps);
+  bump_generation();
+  note_delta();
+  RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 void NetworkModel::set_rate(SourceId id, double per_node_gbps) {
   RUSH_EXPECTS(per_node_gbps >= 0.0);
   auto it = sources_.find(id);
   RUSH_EXPECTS(it != sources_.end());
-  if (it->second.per_node_gbps == per_node_gbps) return;
-  it->second.per_node_gbps = per_node_gbps;
-  mark_dirty();
+  const double old_rate = it->second.src.per_node_gbps;
+  if (old_rate == per_node_gbps) return;
+  it->second.src.per_node_gbps = per_node_gbps;
+  apply_shares(it->second.unit_shares, per_node_gbps - old_rate);
+  bump_generation();
+  note_delta();
+  RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 void NetworkModel::remove_source(SourceId id) {
-  const auto erased = sources_.erase(id);
-  RUSH_EXPECTS(erased == 1);
-  mark_dirty();
+  auto it = sources_.find(id);
+  RUSH_EXPECTS(it != sources_.end());
+  apply_shares(it->second.unit_shares, -it->second.src.per_node_gbps);
+  sources_.erase(it);
+  bump_generation();
+  note_delta();
+  RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 bool NetworkModel::has_source(SourceId id) const noexcept { return sources_.contains(id); }
@@ -49,42 +90,56 @@ bool NetworkModel::has_source(SourceId id) const noexcept { return sources_.cont
 void NetworkModel::set_ambient_load(LinkId link, double gbps) {
   RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
   RUSH_EXPECTS(gbps >= 0.0);
-  if (ambient_[static_cast<std::size_t>(link)] == gbps) return;
-  ambient_[static_cast<std::size_t>(link)] = gbps;
-  mark_dirty();
+  const auto l = static_cast<std::size_t>(link);
+  if (ambient_[l] == gbps) return;
+  double& load = loads_[l];
+  load += gbps - ambient_[l];
+  if (load < 0.0) load = 0.0;
+  ambient_[l] = gbps;
+  bump_generation();
+  note_delta();
+  RUSH_AUDIT_HOOK(audit_invariants());
 }
 
-void NetworkModel::map_flows(const TrafficSource& src, std::vector<LinkShare>& out) const {
-  const double r = src.per_node_gbps;
-  const auto n = src.nodes.size();
+void NetworkModel::map_flows(const NodeSet& nodes, double per_node_gbps, TrafficPattern pattern,
+                             std::vector<LinkShare>& out) const {
+  const double r = per_node_gbps;
+  const auto n = nodes.size();
   if (r <= 0.0) return;
-  if (n < 2 && src.pattern != TrafficPattern::Gateway) return;
+  if (n < 2 && pattern != TrafficPattern::Gateway) return;
 
   // Every member pushes its full injection through its own access link.
-  for (NodeId u : src.nodes) out.push_back({tree_.node_link(u), r});
+  for (NodeId u : nodes) out.push_back({tree_.node_link(u), r});
 
-  switch (src.pattern) {
+  switch (pattern) {
     case TrafficPattern::AllToAll: {
       // Count members per edge switch and per pod; the fraction of a
       // node's traffic leaving its edge (pod) is the fraction of peers
-      // outside it.
-      std::unordered_map<int, int> per_edge;
-      std::unordered_map<int, int> per_pod;
-      for (NodeId u : src.nodes) {
-        ++per_edge[tree_.edge_of(u)];
-        ++per_pod[tree_.pod_of(u)];
+      // outside it. Dense scratch accumulators + touched lists keep this
+      // allocation-free (probe_slowdown runs it on every placement probe).
+      for (NodeId u : nodes) {
+        const auto e = static_cast<std::size_t>(tree_.edge_of(u));
+        const auto p = static_cast<std::size_t>(tree_.pod_of(u));
+        if (edge_acc_[e] == 0.0) touched_edges_.push_back(static_cast<int>(e));
+        if (pod_acc_[p] == 0.0) touched_pods_.push_back(static_cast<int>(p));
+        edge_acc_[e] += 1.0;
+        pod_acc_[p] += 1.0;
       }
       const double m = static_cast<double>(n - 1);
-      for (const auto& [edge, count] : per_edge) {
-        const double outside = static_cast<double>(n - static_cast<std::size_t>(count));
-        if (outside > 0.0)
-          out.push_back({tree_.edge_uplink(edge), static_cast<double>(count) * r * outside / m});
+      for (const int edge : touched_edges_) {
+        const double count = edge_acc_[static_cast<std::size_t>(edge)];
+        const double outside = static_cast<double>(n) - count;
+        if (outside > 0.0) out.push_back({tree_.edge_uplink(edge), count * r * outside / m});
+        edge_acc_[static_cast<std::size_t>(edge)] = 0.0;
       }
-      for (const auto& [pod, count] : per_pod) {
-        const double outside = static_cast<double>(n - static_cast<std::size_t>(count));
-        if (outside > 0.0)
-          out.push_back({tree_.pod_uplink(pod), static_cast<double>(count) * r * outside / m});
+      for (const int pod : touched_pods_) {
+        const double count = pod_acc_[static_cast<std::size_t>(pod)];
+        const double outside = static_cast<double>(n) - count;
+        if (outside > 0.0) out.push_back({tree_.pod_uplink(pod), count * r * outside / m});
+        pod_acc_[static_cast<std::size_t>(pod)] = 0.0;
       }
+      touched_edges_.clear();
+      touched_pods_.clear();
       break;
     }
     case TrafficPattern::NearestNeighbor:
@@ -107,53 +162,71 @@ void NetworkModel::map_flows(const TrafficSource& src, std::vector<LinkShare>& o
           }
         }
       };
-      for (std::size_t i = 0; i + 1 < n; ++i) add_pair(src.nodes[i], src.nodes[i + 1]);
-      if (src.pattern == TrafficPattern::Ring && n > 2) add_pair(src.nodes.back(), src.nodes.front());
+      for (std::size_t i = 0; i + 1 < n; ++i) add_pair(nodes[i], nodes[i + 1]);
+      if (pattern == TrafficPattern::Ring && n > 2) add_pair(nodes.back(), nodes.front());
       break;
     }
     case TrafficPattern::Gateway: {
       // Traffic leaves the pod entirely: each node loads its edge uplink
       // and its pod uplink with its full injection.
-      std::unordered_map<int, double> per_edge;
-      std::unordered_map<int, double> per_pod;
-      for (NodeId u : src.nodes) {
-        per_edge[tree_.edge_of(u)] += r;
-        per_pod[tree_.pod_of(u)] += r;
+      for (NodeId u : nodes) {
+        const auto e = static_cast<std::size_t>(tree_.edge_of(u));
+        const auto p = static_cast<std::size_t>(tree_.pod_of(u));
+        if (edge_acc_[e] == 0.0) touched_edges_.push_back(static_cast<int>(e));
+        if (pod_acc_[p] == 0.0) touched_pods_.push_back(static_cast<int>(p));
+        edge_acc_[e] += r;
+        pod_acc_[p] += r;
       }
-      for (const auto& [edge, load] : per_edge) out.push_back({tree_.edge_uplink(edge), load});
-      for (const auto& [pod, load] : per_pod) out.push_back({tree_.pod_uplink(pod), load});
+      for (const int edge : touched_edges_) {
+        out.push_back({tree_.edge_uplink(edge), edge_acc_[static_cast<std::size_t>(edge)]});
+        edge_acc_[static_cast<std::size_t>(edge)] = 0.0;
+      }
+      for (const int pod : touched_pods_) {
+        out.push_back({tree_.pod_uplink(pod), pod_acc_[static_cast<std::size_t>(pod)]});
+        pod_acc_[static_cast<std::size_t>(pod)] = 0.0;
+      }
+      touched_edges_.clear();
+      touched_pods_.clear();
       break;
     }
   }
 }
 
-void NetworkModel::recompute() const {
+void NetworkModel::rebuild() {
   loads_ = ambient_;
-  std::vector<LinkShare> shares;
-  for (const auto& [id, src] : sources_) {
-    shares.clear();
-    map_flows(src, shares);
-    for (const LinkShare& s : shares) loads_[static_cast<std::size_t>(s.link)] += s.gbps;
+  for (const auto& [id, state] : sources_) {
+    for (const LinkShare& s : state.unit_shares)
+      loads_[static_cast<std::size_t>(s.link)] += state.src.per_node_gbps * s.gbps;
   }
-  dirty_ = false;
+  deltas_since_rebuild_ = 0;
   RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 void NetworkModel::audit_invariants() const {
   RUSH_AUDIT_CHECK(ambient_.size() == static_cast<std::size_t>(tree_.num_links()), "");
   RUSH_AUDIT_CHECK(loads_.size() == ambient_.size(), "per-link load vector resized");
-  for (const auto& [id, src] : sources_) {
-    RUSH_AUDIT_CHECK(src.per_node_gbps >= 0.0,
-                     "source " + std::to_string(id) + " has negative rate");
-  }
-  if (dirty_) return;  // loads_ is stale by design until the next recompute
-  // Conservation: accumulated link load == ambient + sum of source demands.
+  // Differential check: the incremental loads_ must match a from-scratch
+  // rebuild, and every cached unit-share vector must match a fresh flow
+  // mapping of its source's shape.
   std::vector<double> expected = ambient_;
   std::vector<LinkShare> shares;
-  for (const auto& [id, src] : sources_) {
+  for (const auto& [id, state] : sources_) {
+    RUSH_AUDIT_CHECK(state.src.per_node_gbps >= 0.0,
+                     "source " + std::to_string(id) + " has negative rate");
     shares.clear();
-    map_flows(src, shares);
-    for (const LinkShare& s : shares) expected[static_cast<std::size_t>(s.link)] += s.gbps;
+    map_flows(state.src.nodes, 1.0, state.src.pattern, shares);
+    aggregate_shares(shares);
+    RUSH_AUDIT_CHECK(shares.size() == state.unit_shares.size(),
+                     "source " + std::to_string(id) + " cached share count drifted");
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      const double tol = 1e-9 * std::max(1.0, std::abs(shares[i].gbps));
+      RUSH_AUDIT_CHECK(shares[i].link == state.unit_shares[i].link &&
+                           std::abs(shares[i].gbps - state.unit_shares[i].gbps) <= tol,
+                       "source " + std::to_string(id) + " cached share for link " +
+                           std::to_string(state.unit_shares[i].link) + " drifted");
+      expected[static_cast<std::size_t>(shares[i].link)] +=
+          state.src.per_node_gbps * shares[i].gbps;
+    }
   }
   for (std::size_t l = 0; l < expected.size(); ++l) {
     RUSH_AUDIT_CHECK(loads_[l] >= 0.0, "negative load on link " + std::to_string(l));
@@ -178,27 +251,24 @@ double NetworkModel::worst_over_links(const std::vector<LinkShare>& shares,
 double NetworkModel::slowdown(SourceId id) const {
   auto it = sources_.find(id);
   RUSH_EXPECTS(it != sources_.end());
-  if (dirty_) recompute();
-  std::vector<LinkShare> shares;
-  map_flows(it->second, shares);
-  return worst_over_links(shares, loads_);
+  // A silent source traverses no links (its cached shares are unit-rate,
+  // but its live contribution — and exposure — is zero).
+  if (it->second.src.per_node_gbps <= 0.0) return congestion_slowdown(0.0);
+  return worst_over_links(it->second.unit_shares, loads_);
 }
 
 double NetworkModel::probe_slowdown(const NodeSet& nodes, double per_node_gbps,
                                     TrafficPattern pattern) const {
   RUSH_EXPECTS(valid_node_set(tree_, nodes));
-  if (dirty_) recompute();
-  TrafficSource probe{nodes, per_node_gbps, pattern};
-  std::vector<LinkShare> shares;
-  map_flows(probe, shares);
+  scratch_shares_.clear();
+  map_flows(nodes, per_node_gbps, pattern, scratch_shares_);
   // The probe's own traffic must count toward the load it experiences:
   // aggregate its per-link shares, then evaluate against loads + self.
-  std::unordered_map<LinkId, double> self;
-  for (const LinkShare& s : shares) self[s.link] += s.gbps;
+  aggregate_shares(scratch_shares_);
   double worst_util = 0.0;
-  for (const auto& [link, own] : self) {
-    const double cap = tree_.link_capacity_gbps(link);
-    const double util = (loads_[static_cast<std::size_t>(link)] + own) / cap;
+  for (const LinkShare& s : scratch_shares_) {
+    const double cap = tree_.link_capacity_gbps(s.link);
+    const double util = (loads_[static_cast<std::size_t>(s.link)] + s.gbps) / cap;
     worst_util = std::max(worst_util, util);
   }
   return congestion_slowdown(worst_util);
@@ -206,7 +276,6 @@ double NetworkModel::probe_slowdown(const NodeSet& nodes, double per_node_gbps,
 
 double NetworkModel::link_load_gbps(LinkId link) const {
   RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
-  if (dirty_) recompute();
   return loads_[static_cast<std::size_t>(link)];
 }
 

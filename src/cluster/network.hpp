@@ -7,9 +7,14 @@
 // worst oversubscription (load / capacity, clamped at 1) over any link
 // it traverses — the standard max-congestion approximation.
 //
-// Loads are recomputed lazily: mutations mark the model dirty and bump a
-// generation counter that observers (telemetry, job execution) can use to
-// invalidate caches.
+// Loads are maintained incrementally: every source caches its aggregated
+// per-link shares at unit rate (shares are linear in `per_node_gbps`), so
+// add_source / remove_source / set_rate apply an O(|own links|) delta to
+// the per-link totals and set_ambient_load applies a single-link delta.
+// No mutation ever triggers a full recomputation; `rebuild()` remains as
+// the float-drift renormalization fallback and runs automatically every
+// `kRebuildPeriod` deltas. A generation counter bumps on every mutation
+// so observers (telemetry, job execution) can invalidate caches.
 #pragma once
 
 #include <cstdint>
@@ -44,24 +49,28 @@ class NetworkModel {
   explicit NetworkModel(const FatTree& tree);
 
   /// Register a traffic source. `nodes` must be a valid node set; ids must
-  /// be unique among live sources.
+  /// be unique among live sources. O(|nodes| log |nodes|).
   void add_source(SourceId id, NodeSet nodes, double per_node_gbps,
                   TrafficPattern pattern = TrafficPattern::AllToAll);
-  /// Change the injection rate of an existing source.
+  /// Change the injection rate of an existing source. O(|own links|).
   void set_rate(SourceId id, double per_node_gbps);
+  /// O(|own links|).
   void remove_source(SourceId id);
   [[nodiscard]] bool has_source(SourceId id) const noexcept;
 
   /// Ambient load injected directly onto a link by traffic outside the
   /// modeled jobs (system daemons, other users). Overwrites prior value.
+  /// O(1).
   void set_ambient_load(LinkId link, double gbps);
 
   /// Worst oversubscription factor (>= 1) over links used by the source.
+  /// O(|own links|) over the source's cached shares.
   [[nodiscard]] double slowdown(SourceId id) const;
 
   /// Slowdown a *hypothetical* source with this shape would see right now.
   /// Used by the MPI canary benchmarks and by the scheduler when probing a
-  /// candidate allocation. Does not mutate the model.
+  /// candidate allocation. Does not mutate the model and performs no heap
+  /// allocation once the internal scratch buffer is warm.
   [[nodiscard]] double probe_slowdown(const NodeSet& nodes, double per_node_gbps,
                                       TrafficPattern pattern = TrafficPattern::AllToAll) const;
 
@@ -78,11 +87,23 @@ class NetworkModel {
 
   [[nodiscard]] const FatTree& tree() const noexcept { return tree_; }
 
-  /// Per-link load conservation: independently re-maps every live source's
-  /// flows onto the link classes and checks that the cached per-link loads
-  /// equal ambient + the sum of those shares (and that no load or rate is
+  /// Recompute every per-link load from scratch (ambient + every live
+  /// source's shares). Never needed for correctness — the mutation paths
+  /// keep `loads_` current — but bounds floating-point drift from long
+  /// delta chains (it runs automatically every kRebuildPeriod deltas) and
+  /// lets benchmarks compare the incremental path against the full
+  /// recomputation it replaced.
+  void rebuild();
+
+  /// Deltas applied between automatic renormalizing rebuilds.
+  static constexpr std::uint64_t kRebuildPeriod = 4096;
+
+  /// Differential load conservation: independently re-maps every live
+  /// source's flows onto the link classes and checks that both the cached
+  /// per-source share vectors and the incrementally maintained per-link
+  /// loads equal that from-scratch rebuild (and that no load or rate is
   /// negative). Throws AuditError on any mismatch. Called automatically
-  /// after every recompute in RUSH_AUDIT builds.
+  /// after every mutation in RUSH_AUDIT builds.
   void audit_invariants() const;
 
  private:
@@ -91,21 +112,45 @@ class NetworkModel {
     LinkId link;
     double gbps;
   };
+  struct SourceState {
+    TrafficSource src;
+    /// Aggregated per-link shares at per_node_gbps == 1, sorted by link,
+    /// one entry per distinct link. The live contribution of the source is
+    /// `src.per_node_gbps * unit_shares`.
+    std::vector<LinkShare> unit_shares;
+  };
 
-  void mark_dirty() noexcept;
-  void recompute() const;
-  /// Maps one source's flows to per-link loads. Appends to `out`.
-  void map_flows(const TrafficSource& src, std::vector<LinkShare>& out) const;
+  void bump_generation() noexcept;
+  /// Maps one source shape's flows to per-link loads. Appends to `out`.
+  void map_flows(const NodeSet& nodes, double per_node_gbps, TrafficPattern pattern,
+                 std::vector<LinkShare>& out) const;
+  /// Sorts `shares` by link and merges duplicate links in place.
+  static void aggregate_shares(std::vector<LinkShare>& shares);
+  /// loads_[link] += scale * share for every share; clamps the tiny
+  /// negative residue float cancellation can leave behind.
+  void apply_shares(const std::vector<LinkShare>& unit_shares, double scale);
+  /// Counts one applied delta; renormalizes via rebuild() every
+  /// kRebuildPeriod deltas.
+  void note_delta();
   [[nodiscard]] double worst_over_links(const std::vector<LinkShare>& shares,
                                         const std::vector<double>& loads) const;
 
   const FatTree& tree_;
-  std::unordered_map<SourceId, TrafficSource> sources_;
+  std::unordered_map<SourceId, SourceState> sources_;
   std::vector<double> ambient_;  // per-link ambient gbps
+  std::vector<double> loads_;    // per-link total gbps, always current
   std::uint64_t generation_ = 0;
+  std::uint64_t deltas_since_rebuild_ = 0;
 
-  mutable bool dirty_ = true;
-  mutable std::vector<double> loads_;  // per-link total gbps
+  // Flow-mapping scratch, preallocated to the topology's edge/pod counts
+  // so steady-state probes never allocate; mutable because probes are
+  // logically const. `*_acc_` entries are zero outside map_flows; the
+  // touched lists record which entries a call dirtied.
+  mutable std::vector<LinkShare> scratch_shares_;
+  mutable std::vector<double> edge_acc_;
+  mutable std::vector<double> pod_acc_;
+  mutable std::vector<int> touched_edges_;
+  mutable std::vector<int> touched_pods_;
 };
 
 }  // namespace rush::cluster

@@ -50,6 +50,7 @@ JobId Scheduler::submit(JobSpec spec) {
   job.id = id;
   job.spec = std::move(spec);
   job.submit_s = engine_.now();
+  first_submit_s_ = std::min(first_submit_s_, job.submit_s);
   jobs_.emplace(id, std::move(job));
   submit_order_.push_back(id);
   insert_in_queue(id);
@@ -71,6 +72,7 @@ JobId Scheduler::submit_at(sim::Time when, JobSpec spec) {
   engine_.schedule_at(when, [this, id] {
     Job& j = jobs_.at(id);
     j.submit_s = engine_.now();
+    first_submit_s_ = std::min(first_submit_s_, j.submit_s);
     submit_order_.push_back(id);
     insert_in_queue(id);
     schedule_pass();
@@ -99,12 +101,10 @@ std::vector<const Job*> Scheduler::completed_jobs() const {
 }
 
 double Scheduler::makespan() const noexcept {
+  // first_submit_s_ / last_end_s_ are maintained at submission and
+  // completion, so this is O(1) however many jobs ran.
   if (completed_order_.empty() || submit_order_.empty()) return 0.0;
-  double first_submit = std::numeric_limits<double>::max();
-  for (JobId id : submit_order_) first_submit = std::min(first_submit, jobs_.at(id).submit_s);
-  double last_end = 0.0;
-  for (JobId id : completed_order_) last_end = std::max(last_end, jobs_.at(id).end_s);
-  return last_end - first_submit;
+  return last_end_s_ - first_submit_s_;
 }
 
 Scheduler::Reservation Scheduler::compute_reservation(const Job& job) const {
@@ -194,6 +194,7 @@ void Scheduler::handle_completion(JobId id, const apps::RunRecord& record) {
   allocator_.release(job.nodes);
   job.state = JobState::Completed;
   job.end_s = engine_.now();
+  last_end_s_ = std::max(last_end_s_, job.end_s);
   job.record = record;
   running_.erase(id);
   completed_order_.push_back(id);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -129,6 +130,10 @@ class Scheduler {
   std::vector<JobId> queue_;  // pending, in R1 order
   std::unordered_set<JobId> running_;
   std::vector<JobId> completed_order_;
+  // Incremental makespan endpoints: min submit time seen / max end time
+  // seen, so makespan() never rescans the job tables.
+  double first_submit_s_ = std::numeric_limits<double>::max();
+  double last_end_s_ = 0.0;
   std::uint64_t total_skips_ = 0;
   std::uint64_t passes_ = 0;
   bool in_pass_ = false;

@@ -17,12 +17,25 @@ CounterStore::CounterStore(cluster::NodeSet managed, std::size_t num_counters,
   RUSH_EXPECTS(std::is_sorted(managed_.begin(), managed_.end()));
   RUSH_EXPECTS(num_counters_ > 0);
   RUSH_EXPECTS(capacity_frames_ > 0);
+  evicted_prefix_.assign(num_counters_, 0.0);
 }
 
 std::size_t CounterStore::node_index(cluster::NodeId node) const {
   const auto it = std::lower_bound(managed_.begin(), managed_.end(), node);
   RUSH_EXPECTS(it != managed_.end() && *it == node);
   return static_cast<std::size_t>(it - managed_.begin());
+}
+
+std::pair<std::size_t, std::size_t> CounterStore::window_bounds(sim::Time t0,
+                                                                sim::Time t1) const noexcept {
+  // Timestamps are non-decreasing (add_frame precondition), so the window
+  // is a contiguous run found by binary search.
+  const auto lo = std::lower_bound(frames_.begin(), frames_.end(), t0,
+                                   [](const Frame& f, sim::Time v) { return f.t < v; });
+  const auto hi = std::upper_bound(lo, frames_.end(), t1,
+                                   [](sim::Time v, const Frame& f) { return v < f.t; });
+  return {static_cast<std::size_t>(lo - frames_.begin()),
+          static_cast<std::size_t>(hi - frames_.begin())};
 }
 
 void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
@@ -44,24 +57,43 @@ void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
       frame.all_sum[c] += static_cast<double>(v);
     }
   }
+  const std::vector<double>& base =
+      frames_.empty() ? evicted_prefix_ : frames_.back().prefix_sum;
+  frame.prefix_sum.resize(num_counters_);
+  for (std::size_t c = 0; c < num_counters_; ++c)
+    frame.prefix_sum[c] = base[c] + frame.all_sum[c];
   frames_.push_back(std::move(frame));
-  while (frames_.size() > capacity_frames_) frames_.pop_front();
+  while (frames_.size() > capacity_frames_) {
+    evicted_prefix_ = std::move(frames_.front().prefix_sum);
+    frames_.pop_front();
+  }
   RUSH_AUDIT_HOOK(audit_invariants());
 }
 
 void CounterStore::audit_invariants() const {
   RUSH_AUDIT_CHECK(frames_.size() <= capacity_frames_, "eviction fell behind");
+  RUSH_AUDIT_CHECK(evicted_prefix_.size() == num_counters_, "eviction base shape");
   const Frame* prev = nullptr;
   for (const Frame& f : frames_) {
     if (prev != nullptr) {
       RUSH_AUDIT_CHECK(prev->t <= f.t, "frame at t=" + std::to_string(f.t) +
                                            " behind predecessor t=" + std::to_string(prev->t));
     }
-    prev = &f;
     RUSH_AUDIT_CHECK(f.values.size() == managed_.size() * num_counters_, "frame shape");
     RUSH_AUDIT_CHECK(f.all_min.size() == num_counters_ && f.all_max.size() == num_counters_ &&
-                         f.all_sum.size() == num_counters_,
+                         f.all_sum.size() == num_counters_ && f.prefix_sum.size() == num_counters_,
                      "aggregate shape");
+    // Prefix chain: each frame extends its predecessor (or the eviction
+    // base) by exactly its own per-counter sums.
+    const std::vector<double>& base = prev != nullptr ? prev->prefix_sum : evicted_prefix_;
+    for (std::size_t c = 0; c < num_counters_; ++c) {
+      const double expect = base[c] + f.all_sum[c];
+      const double tol = 1e-9 * std::max(1.0, std::abs(expect));
+      RUSH_AUDIT_CHECK(std::abs(f.prefix_sum[c] - expect) <= tol,
+                       "broken prefix chain for counter " + std::to_string(c) + " at t=" +
+                           std::to_string(f.t));
+    }
+    prev = &f;
   }
   if (frames_.empty()) return;
   // Recomputing aggregates for every frame on every hook would be
@@ -86,10 +118,8 @@ void CounterStore::audit_invariants() const {
 }
 
 std::size_t CounterStore::frames_in(sim::Time t0, sim::Time t1) const noexcept {
-  std::size_t n = 0;
-  for (const Frame& f : frames_)
-    if (f.t >= t0 && f.t <= t1) ++n;
-  return n;
+  const auto [lo, hi] = window_bounds(t0, t1);
+  return hi - lo;
 }
 
 std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
@@ -102,11 +132,10 @@ std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
   std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
   std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
   std::vector<double> sums(num_counters_, 0.0);
-  std::size_t samples = 0;
 
-  for (const Frame& f : frames_) {
-    if (f.t < t0 || f.t > t1) continue;
-    ++samples;
+  const auto [lo, hi] = window_bounds(t0, t1);
+  for (std::size_t fi = lo; fi < hi; ++fi) {
+    const Frame& f = frames_[fi];
     for (const std::size_t ni : idx) {
       const float* row = f.values.data() + ni * num_counters_;
       for (std::size_t c = 0; c < num_counters_; ++c) {
@@ -117,6 +146,7 @@ std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
       }
     }
   }
+  const std::size_t samples = hi - lo;
   if (samples == 0 || idx.empty()) return out;
   const double denom = static_cast<double>(samples) * static_cast<double>(idx.size());
   for (std::size_t c = 0; c < num_counters_; ++c)
@@ -126,24 +156,29 @@ std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
 
 std::vector<Agg> CounterStore::aggregate_all(sim::Time t0, sim::Time t1) const {
   std::vector<Agg> out(num_counters_);
+  const auto [lo, hi] = window_bounds(t0, t1);
+  const std::size_t samples = hi - lo;
+  if (samples == 0) return out;
+
+  // Sums come from the running prefixes in O(counters); min/max are not
+  // prefix-decomposable, so they merge the per-frame aggregates of just
+  // the frames inside the window.
   std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
   std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
-  std::vector<double> sums(num_counters_, 0.0);
-  std::size_t samples = 0;
-
-  for (const Frame& f : frames_) {
-    if (f.t < t0 || f.t > t1) continue;
-    ++samples;
+  for (std::size_t fi = lo; fi < hi; ++fi) {
+    const Frame& f = frames_[fi];
     for (std::size_t c = 0; c < num_counters_; ++c) {
       mins[c] = std::min(mins[c], static_cast<double>(f.all_min[c]));
       maxs[c] = std::max(maxs[c], static_cast<double>(f.all_max[c]));
-      sums[c] += f.all_sum[c];
     }
   }
-  if (samples == 0) return out;
+  const std::vector<double>& base =
+      lo == 0 ? evicted_prefix_ : frames_[lo - 1].prefix_sum;
   const double denom = static_cast<double>(samples) * static_cast<double>(managed_.size());
-  for (std::size_t c = 0; c < num_counters_; ++c)
-    out[c] = Agg{mins[c], maxs[c], sums[c] / denom};
+  for (std::size_t c = 0; c < num_counters_; ++c) {
+    const double sum = frames_[hi - 1].prefix_sum[c] - base[c];
+    out[c] = Agg{mins[c], maxs[c], sum / denom};
+  }
   return out;
 }
 
@@ -154,6 +189,9 @@ double CounterStore::latest(cluster::NodeId node, std::size_t counter) const {
   return static_cast<double>(f.values[node_index(node) * num_counters_ + counter]);
 }
 
-void CounterStore::clear() { frames_.clear(); }
+void CounterStore::clear() {
+  frames_.clear();
+  evicted_prefix_.assign(num_counters_, 0.0);
+}
 
 }  // namespace rush::telemetry

@@ -2,14 +2,19 @@
 //
 // Frames are appended by the sampler: one frame per sampling tick holding
 // every managed node's counter values (node-major, float to halve memory).
-// Per-frame all-node aggregates are precomputed so whole-machine window
-// queries stay cheap. Old frames are evicted once `capacity_frames` is
-// exceeded — the pipeline only ever looks back one aggregation window.
+// Frame timestamps are non-decreasing (enforced in add_frame), so window
+// queries binary-search the frame index instead of scanning it. Per-frame
+// all-node aggregates and running prefix sums are precomputed: whole-
+// machine window means cost O(counters) and min/max merge only the frames
+// inside the window. Old frames are evicted once `capacity_frames` is
+// exceeded — the prefix base carries across eviction, and the pipeline
+// only ever looks back one aggregation window.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.hpp"
@@ -58,10 +63,12 @@ class CounterStore {
 
   /// Time-index ordering and frame-shape audit: frame timestamps must be
   /// non-decreasing front to back, every frame must hold exactly
-  /// managed x counters values, and each frame's precomputed per-counter
-  /// aggregates must match a fresh recomputation from the raw values.
-  /// Throws AuditError on corruption. Called automatically after every
-  /// add_frame in RUSH_AUDIT builds.
+  /// managed x counters values, each frame's precomputed per-counter
+  /// aggregates must match a fresh recomputation from the raw values, and
+  /// the running prefix sums must chain (each frame's prefix equals its
+  /// predecessor's — or the eviction base — plus its own sum). Throws
+  /// AuditError on corruption. Called automatically after every add_frame
+  /// in RUSH_AUDIT builds.
   void audit_invariants() const;
 
  private:
@@ -71,14 +78,23 @@ class CounterStore {
     std::vector<float> values;           // managed x counters, node-major
     std::vector<float> all_min, all_max;  // per counter
     std::vector<double> all_sum;          // per counter (for exact means)
+    std::vector<double> prefix_sum;       // per counter, cumulative all_sum
+                                          // over every frame ever added up
+                                          // to and including this one
   };
 
   [[nodiscard]] std::size_t node_index(cluster::NodeId node) const;
+  /// [first, last) deque indices of frames with t in [t0, t1].
+  [[nodiscard]] std::pair<std::size_t, std::size_t> window_bounds(sim::Time t0,
+                                                                  sim::Time t1) const noexcept;
 
   cluster::NodeSet managed_;
   std::size_t num_counters_;
   std::size_t capacity_frames_;
   std::deque<Frame> frames_;
+  /// prefix_sum of the most recently evicted frame (zeros before any
+  /// eviction): the base the front frame's prefix chains from.
+  std::vector<double> evicted_prefix_;
 };
 
 }  // namespace rush::telemetry

@@ -32,6 +32,9 @@ struct AuditTestPeer {
 struct NetworkAuditTestPeer {
   static void leak_load(NetworkModel& m) { m.loads_.at(0) += 7.5; }
   static void negate_load(NetworkModel& m) { m.loads_.at(0) = -1.0; }
+  static void corrupt_cached_shares(NetworkModel& m) {
+    m.sources_.begin()->second.unit_shares.at(0).gbps += 0.25;
+  }
 };
 }  // namespace rush::cluster
 
@@ -41,6 +44,9 @@ struct AuditTestPeer {
     std::swap(s.frames_.front().t, s.frames_.back().t);
   }
   static void stale_aggregate(CounterStore& s) { s.frames_.back().all_sum[0] += 1.0; }
+  static void break_prefix_chain(CounterStore& s) {
+    s.frames_.back().prefix_sum[0] += 1.0;
+  }
 };
 }  // namespace rush::telemetry
 
@@ -124,26 +130,46 @@ class AuditNetwork : public ::testing::Test {
 TEST_F(AuditNetwork, CleanModelConservesLoad) {
   model_.add_source(1, {0, 1, 4, 5}, 2.0);
   model_.set_ambient_load(tree_.edge_uplink(0), 3.0);
-  (void)model_.link_load_gbps(0);  // forces recompute
   EXPECT_NO_THROW(model_.audit_invariants());
 }
 
 TEST_F(AuditNetwork, FiresWhenLinkLoadLeaksFromDemand) {
   model_.add_source(1, {0, 1, 4, 5}, 2.0);
-  (void)model_.link_load_gbps(0);
   rush::cluster::NetworkAuditTestPeer::leak_load(model_);
   EXPECT_THROW(model_.audit_invariants(), AuditError);
 }
 
 TEST_F(AuditNetwork, FiresOnNegativeLoad) {
   model_.add_source(1, {0, 1}, 1.0);
-  (void)model_.link_load_gbps(0);
   rush::cluster::NetworkAuditTestPeer::negate_load(model_);
   EXPECT_THROW(model_.audit_invariants(), AuditError);
 }
 
-TEST_F(AuditNetwork, DirtyModelSkipsConservationUntilRecompute) {
-  model_.add_source(1, {0, 1}, 1.0);  // marks dirty; loads_ is stale
+TEST_F(AuditNetwork, ModelIsConsistentImmediatelyAfterEveryMutation) {
+  // Incremental maintenance: no lazy recompute, so every mutation leaves
+  // loads_ matching the cached flow maps without any query in between.
+  model_.add_source(1, {0, 1}, 1.0);
+  EXPECT_NO_THROW(model_.audit_invariants());
+  model_.set_rate(1, 3.0);
+  EXPECT_NO_THROW(model_.audit_invariants());
+  model_.set_ambient_load(tree_.edge_uplink(0), 2.0);
+  EXPECT_NO_THROW(model_.audit_invariants());
+  model_.remove_source(1);
+  EXPECT_NO_THROW(model_.audit_invariants());
+}
+
+TEST_F(AuditNetwork, FiresWhenCachedFlowMapDrifts) {
+  // The differential audit re-derives every source's flow map from the
+  // topology; a corrupted cached unit share must be caught.
+  model_.add_source(1, {0, 1, 4, 5}, 2.0);
+  rush::cluster::NetworkAuditTestPeer::corrupt_cached_shares(model_);
+  EXPECT_THROW(model_.audit_invariants(), AuditError);
+}
+
+TEST_F(AuditNetwork, RebuildRestoresCorruptedLoads) {
+  model_.add_source(1, {0, 1, 4, 5}, 2.0);
+  rush::cluster::NetworkAuditTestPeer::leak_load(model_);
+  model_.rebuild();
   EXPECT_NO_THROW(model_.audit_invariants());
 }
 
@@ -171,6 +197,15 @@ TEST(AuditStore, FiresOnStaleAggregate) {
   const std::vector<float> frame{1.0f, 2.0f, 3.0f, 4.0f};
   store.add_frame(0.0, frame);
   rush::telemetry::AuditTestPeer::stale_aggregate(store);
+  EXPECT_THROW(store.audit_invariants(), AuditError);
+}
+
+TEST(AuditStore, FiresOnBrokenPrefixChain) {
+  rush::telemetry::CounterStore store({0, 1}, 2, 8);
+  const std::vector<float> frame{1.0f, 2.0f, 3.0f, 4.0f};
+  store.add_frame(0.0, frame);
+  store.add_frame(1.0, frame);
+  rush::telemetry::AuditTestPeer::break_prefix_chain(store);
   EXPECT_THROW(store.audit_invariants(), AuditError);
 }
 

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "cluster/congestion.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace rush::cluster {
 namespace {
@@ -194,6 +199,113 @@ TEST_F(NetworkTest, NodeLinkLoadConservation) {
   double total = 0.0;
   for (NodeId n = 0; n < tree_.num_nodes(); ++n) total += net_.link_load_gbps(tree_.node_link(n));
   EXPECT_NEAR(total, 4 * 2.0 + 6 * 1.0 + 4 * 0.5, 1e-9);
+}
+
+// --- incremental engine vs from-scratch rebuild -------------------------
+
+TEST_F(NetworkTest, SilentSourceContributesNothingAndFeelsNothing) {
+  net_.add_source(1, {0, 8}, 0.0, TrafficPattern::AllToAll);
+  EXPECT_DOUBLE_EQ(net_.link_load_gbps(tree_.edge_uplink(0)), 0.0);
+  net_.set_ambient_load(tree_.edge_uplink(0), 19.0);  // near saturation
+  EXPECT_DOUBLE_EQ(net_.slowdown(1), 1.0);  // rate 0: traverses no links
+  net_.set_rate(1, 2.0);
+  EXPECT_GT(net_.slowdown(1), 1.0);
+  EXPECT_NEAR(net_.link_load_gbps(tree_.edge_uplink(0)), 21.0, 1e-9);
+  net_.set_rate(1, 0.0);
+  EXPECT_NEAR(net_.link_load_gbps(tree_.edge_uplink(0)), 19.0, 1e-9);
+  EXPECT_DOUBLE_EQ(net_.slowdown(1), 1.0);
+}
+
+TEST_F(NetworkTest, RebuildPreservesLoadsAndIsIdempotent) {
+  net_.add_source(1, {0, 1, 8, 9}, 2.0, TrafficPattern::AllToAll);
+  net_.add_source(2, {16, 17, 40, 41}, 1.5, TrafficPattern::Gateway);
+  net_.set_ambient_load(tree_.pod_uplink(1), 4.0);
+  std::vector<double> before;
+  for (LinkId l = 0; l < tree_.num_links(); ++l) before.push_back(net_.link_load_gbps(l));
+  net_.rebuild();
+  net_.rebuild();
+  for (LinkId l = 0; l < tree_.num_links(); ++l) {
+    const auto idx = static_cast<std::size_t>(l);
+    EXPECT_NEAR(net_.link_load_gbps(l), before[idx],
+                1e-9 * std::max(1.0, before[idx]))
+        << "link " << l;
+  }
+}
+
+/// Replays a randomized mutation sequence (add/remove/set_rate/set_ambient
+/// across all four traffic patterns) and repeatedly checks the
+/// incrementally maintained per-link loads against a from-scratch
+/// rebuild(), to 1e-9 relative tolerance.
+TEST_F(NetworkTest, RandomizedChurnMatchesFromScratchRebuild) {
+  Rng rng(0xC0FFEE);
+  std::vector<SourceId> live;
+  SourceId next_id = 1;
+  constexpr TrafficPattern kPatterns[] = {TrafficPattern::AllToAll,
+                                          TrafficPattern::NearestNeighbor, TrafficPattern::Ring,
+                                          TrafficPattern::Gateway};
+  const auto verify_against_rebuild = [&] {
+    std::vector<double> incremental;
+    for (LinkId l = 0; l < tree_.num_links(); ++l)
+      incremental.push_back(net_.link_load_gbps(l));
+    net_.rebuild();
+    for (LinkId l = 0; l < tree_.num_links(); ++l) {
+      const auto idx = static_cast<std::size_t>(l);
+      ASSERT_NEAR(net_.link_load_gbps(l), incremental[idx],
+                  1e-9 * std::max(1.0, std::abs(incremental[idx])))
+          << "link " << l;
+    }
+    EXPECT_NO_THROW(net_.audit_invariants());
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 4 || live.empty()) {  // add
+      const int width = static_cast<int>(rng.uniform_int(1, 12));
+      const auto base =
+          static_cast<NodeId>(rng.uniform_int(0, tree_.num_nodes() - width - 1));
+      NodeSet nodes;
+      for (int i = 0; i < width; ++i) nodes.push_back(base + i);
+      const double rate = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, 4.0);
+      net_.add_source(next_id, nodes, rate, kPatterns[rng.uniform_int(0, 3)]);
+      live.push_back(next_id++);
+    } else if (roll < 6) {  // remove
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      net_.remove_source(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (roll < 8) {  // set_rate (sometimes to/from zero)
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      net_.set_rate(live[pick], rng.bernoulli(0.15) ? 0.0 : rng.uniform(0.0, 4.0));
+    } else {  // set_ambient
+      const auto link = static_cast<LinkId>(rng.uniform_int(0, tree_.num_links() - 1));
+      net_.set_ambient_load(link, rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 10.0));
+    }
+    if (step % 40 == 39) verify_against_rebuild();
+  }
+  verify_against_rebuild();
+
+  // Drain everything: the incremental path must land back on ambient-only.
+  for (const SourceId id : live) net_.remove_source(id);
+  verify_against_rebuild();
+}
+
+/// Probes must agree with registering the equivalent source, for every
+/// pattern, under a contended model.
+TEST_F(NetworkTest, ProbeMatchesEquivalentSourceForAllPatterns) {
+  net_.add_source(1, {0, 1, 2, 3, 8, 9, 10, 11}, 3.0, TrafficPattern::AllToAll);
+  net_.set_ambient_load(tree_.edge_uplink(1), 6.0);
+  const NodeSet probe_nodes{4, 5, 12, 13, 36, 37};
+  for (const TrafficPattern pattern :
+       {TrafficPattern::AllToAll, TrafficPattern::NearestNeighbor, TrafficPattern::Ring,
+        TrafficPattern::Gateway}) {
+    const double probed = net_.probe_slowdown(probe_nodes, 2.0, pattern);
+    net_.add_source(99, probe_nodes, 2.0, pattern);
+    EXPECT_NEAR(net_.slowdown(99), probed, 1e-9)
+        << "pattern " << static_cast<int>(pattern);
+    net_.remove_source(99);
+  }
 }
 
 }  // namespace

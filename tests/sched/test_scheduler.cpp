@@ -172,6 +172,33 @@ TEST(Scheduler, SubmitAtDelaysEnqueue) {
   EXPECT_DOUBLE_EQ(sched_ptr->job(id).wait_s(), 0.0);
 }
 
+TEST(Scheduler, MakespanTracksIncrementalEndpoints) {
+  World w;
+  const auto sched_ptr = w.make(SchedulerConfig{});
+  EXPECT_DOUBLE_EQ(sched_ptr->makespan(), 0.0);  // nothing submitted
+  const JobId a = sched_ptr->submit(make_spec(16, 100.0));
+  EXPECT_DOUBLE_EQ(sched_ptr->makespan(), 0.0);  // nothing completed yet
+  w.engine.run();
+  EXPECT_NEAR(sched_ptr->makespan(), 100.0, 0.5);
+  // A later out-of-order wave must stretch only the right endpoint: first
+  // submit stays t=0 even though this submission happens at t=500.
+  const JobId b = sched_ptr->submit_at(500.0, make_spec(16, 100.0));
+  w.engine.run();
+  EXPECT_NEAR(sched_ptr->makespan(), 600.0, 0.5);
+  EXPECT_EQ(sched_ptr->job(a).state, JobState::Completed);
+  EXPECT_EQ(sched_ptr->job(b).state, JobState::Completed);
+}
+
+TEST(Scheduler, MakespanAnchorsAtFirstDeferredSubmission) {
+  World w;
+  const auto sched_ptr = w.make(SchedulerConfig{});
+  // Only deferred submissions: the left endpoint is the deferred submit
+  // time (t=500), not the wall-clock time of the submit_at call (t=0).
+  (void)sched_ptr->submit_at(500.0, make_spec(16, 100.0));
+  w.engine.run();
+  EXPECT_NEAR(sched_ptr->makespan(), 100.0, 0.5);
+}
+
 TEST(Scheduler, HooksFireOnStartAndComplete) {
   World w;
   const auto sched_ptr = w.make(SchedulerConfig{});

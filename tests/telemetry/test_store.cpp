@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <initializer_list>
 #include <vector>
 
@@ -102,6 +103,83 @@ TEST_F(StoreTest, ClearDropsEverything) {
   store_.add_frame(1.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
   store_.clear();
   EXPECT_EQ(store_.frame_count(), 0u);
+}
+
+// --- binary-searched windows and prefix aggregates ----------------------
+
+TEST_F(StoreTest, WindowBoundaryEdgeCases) {
+  store_.add_frame(1.0, frame({1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  store_.add_frame(5.0, frame({5, 5, 5, 5, 5, 5, 5, 5, 5}));
+  store_.add_frame(9.0, frame({9, 9, 9, 9, 9, 9, 9, 9, 9}));
+  EXPECT_EQ(store_.frames_in(-10.0, 0.5), 0u);   // entirely before
+  EXPECT_EQ(store_.frames_in(9.5, 100.0), 0u);   // entirely after
+  EXPECT_EQ(store_.frames_in(2.0, 4.0), 0u);     // gap between frames
+  EXPECT_EQ(store_.frames_in(5.0, 5.0), 1u);     // exact single timestamp
+  EXPECT_EQ(store_.frames_in(1.0, 9.0), 3u);     // both endpoints inclusive
+  EXPECT_EQ(store_.frames_in(6.0, 2.0), 0u);     // inverted window
+  const auto empty = store_.aggregate_all(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(empty[0].mean, 0.0);
+  const auto one = store_.aggregate_all(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(one[0].min, 5.0);
+  EXPECT_DOUBLE_EQ(one[0].max, 5.0);
+  EXPECT_DOUBLE_EQ(one[0].mean, 5.0);
+}
+
+TEST_F(StoreTest, DuplicateTimestampsAllLandInTheWindow) {
+  store_.add_frame(3.0, frame({1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  store_.add_frame(3.0, frame({2, 2, 2, 2, 2, 2, 2, 2, 2}));
+  store_.add_frame(3.0, frame({3, 3, 3, 3, 3, 3, 3, 3, 3}));
+  EXPECT_EQ(store_.frames_in(3.0, 3.0), 3u);
+  const auto aggs = store_.aggregate_all(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(aggs[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(aggs[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(aggs[0].mean, 2.0);
+}
+
+TEST_F(StoreTest, PrefixAggregatesSurviveEviction) {
+  // Capacity is 4: frames 0 and 1 get evicted, the prefix base carries.
+  for (int i = 0; i < 6; ++i) {
+    const auto v = static_cast<float>(i);
+    store_.add_frame(static_cast<double>(i), frame({v, v, v, v, v, v, v, v, v}));
+  }
+  const auto aggs = store_.aggregate_all(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(aggs[0].min, 2.0);
+  EXPECT_DOUBLE_EQ(aggs[0].max, 5.0);
+  EXPECT_DOUBLE_EQ(aggs[0].mean, 3.5);  // (2+3+4+5)/4
+  // A window starting at the (evicted-into) front of the deque.
+  const auto front = store_.aggregate_all(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(front[0].mean, 2.5);  // frames 2 and 3 remain
+  // Subset aggregation over the same window agrees.
+  const auto subset = store_.aggregate_nodes(2.0, 5.0, nodes3());
+  EXPECT_NEAR(subset[0].mean, aggs[0].mean, 1e-12);
+}
+
+TEST_F(StoreTest, ClearResetsPrefixBase) {
+  store_.add_frame(1.0, frame({7, 7, 7, 7, 7, 7, 7, 7, 7}));
+  store_.clear();
+  store_.add_frame(2.0, frame({1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  const auto aggs = store_.aggregate_all(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(aggs[0].mean, 1.0);
+  EXPECT_NO_THROW(store_.audit_invariants());
+}
+
+TEST_F(StoreTest, AggregateAllMatchesAggregateNodesUnderChurn) {
+  // Rolling appends with eviction: the prefix-sum fast path must keep
+  // agreeing with the raw-value scan.
+  for (int i = 0; i < 12; ++i) {
+    const auto a = static_cast<float>(i % 5);
+    const auto b = static_cast<float>((i * 3) % 7);
+    const auto c = static_cast<float>(11 - i);
+    store_.add_frame(static_cast<double>(i), frame({a, b, c, b, c, a, c, a, b}));
+    const double t0 = std::max(0.0, static_cast<double>(i) - 2.0);
+    const auto all = store_.aggregate_all(t0, static_cast<double>(i));
+    const auto subset = store_.aggregate_nodes(t0, static_cast<double>(i), nodes3());
+    for (std::size_t k = 0; k < kCounters; ++k) {
+      EXPECT_DOUBLE_EQ(all[k].min, subset[k].min);
+      EXPECT_DOUBLE_EQ(all[k].max, subset[k].max);
+      EXPECT_NEAR(all[k].mean, subset[k].mean, 1e-9);
+    }
+  }
 }
 
 TEST_F(StoreTest, PreconditionViolations) {
