@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+
+#include "obs/manifest.hpp"
 
 namespace rush::bench {
 
@@ -22,12 +25,35 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.days = static_cast<int>(next_int(16));
     } else if (std::strcmp(arg, "--fresh") == 0) {
       opts.fresh = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (i + 1 < argc) opts.trace_path = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("options: --seed N --trials N --days N --fresh\n");
+      std::printf("options: --seed N --trials N --days N --fresh --trace PATH\n");
       std::exit(0);
     }
   }
   return opts;
+}
+
+BenchObs::BenchObs(const BenchOptions& opts, const std::string& tool)
+    : path_(opts.trace_path) {
+  if (path_.empty()) return;
+  trace_ = std::make_unique<obs::EventTrace>(path_);
+  obs::RunManifest manifest;
+  manifest.tool = tool;
+  manifest.seed = opts.seed;
+  manifest.trials = opts.trials;
+  manifest.days = opts.days;
+  manifest.trace_path = path_;
+  obs::write_manifest(path_ + ".manifest.json", manifest);
+  std::printf("[bench] trace: %s (+ .manifest.json, .metrics.json)\n", path_.c_str());
+}
+
+BenchObs::~BenchObs() {
+  if (!trace_) return;
+  trace_->flush();
+  std::ofstream out(path_ + ".metrics.json");
+  if (out) out << metrics_.snapshot_json() << '\n';
 }
 
 core::Corpus main_corpus(const BenchOptions& opts) {
@@ -45,9 +71,14 @@ core::Corpus main_corpus(const BenchOptions& opts) {
   return corpus;
 }
 
-core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus) {
+core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus,
+                                   BenchObs* bench_obs) {
   core::ExperimentConfig config;
   config.trials_per_policy = opts.trials;
+  if (bench_obs != nullptr) {
+    config.trace = bench_obs->trace();
+    config.metrics = bench_obs->metrics();
+  }
   // The experiment seed stays at its default so trial conditions are
   // stable across collection-seed sweeps; --seed varies the corpus.
   return core::ExperimentRunner(std::move(corpus), config);
@@ -60,7 +91,8 @@ core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunn
                                                     std::to_string(opts.trials) + "_s" +
                                                     std::to_string(opts.seed) + "_d" +
                                                     std::to_string(opts.days));
-  if (opts.fresh) std::filesystem::remove(cache);
+  // Tracing needs live trials (a cache hit would leave the trace empty).
+  if (opts.fresh || !opts.trace_path.empty()) std::filesystem::remove(cache);
   std::printf("[bench] experiment %s: %s\n", spec.code.c_str(), cache.string().c_str());
   return core::run_or_load_experiment(runner, spec, cache);
 }

@@ -1,20 +1,26 @@
 // Shared harness for the figure/table benches.
 //
 // Every bench accepts:
-//   --seed N     master seed (default 42)
-//   --trials N   trials per policy (default 5, as in the paper)
-//   --days N     collection campaign length (default 16)
-//   --fresh      ignore caches and recompute everything
+//   --seed N      master seed (default 42)
+//   --trials N    trials per policy (default 5, as in the paper)
+//   --days N      collection campaign length (default 16)
+//   --fresh       ignore caches and recompute everything
+//   --trace PATH  write a JSONL event trace (docs/trace-format.md) plus
+//                 PATH.manifest.json / PATH.metrics.json; implies fresh
+//                 experiment runs so the trace reflects live scheduling
 // Corpora and experiment results are cached as CSV in $RUSH_CACHE_DIR
 // (default: the working directory), so the benches share one collection
 // campaign and one run of each Table II experiment.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/collector.hpp"
 #include "core/experiment.hpp"
 #include "core/result_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rush::bench {
 
@@ -23,15 +29,46 @@ struct BenchOptions {
   int trials = 5;
   int days = 16;
   bool fresh = false;
+  /// Empty disables tracing.
+  std::string trace_path;
 };
 
 BenchOptions parse_options(int argc, char** argv);
+
+/// Observability bundle for one bench process: an EventTrace on
+/// opts.trace_path (plus its <path>.manifest.json provenance record,
+/// written up front) and a MetricsRegistry whose snapshot lands in
+/// <path>.metrics.json at destruction. Inactive (null trace, no files)
+/// when opts.trace_path is empty.
+class BenchObs {
+ public:
+  BenchObs(const BenchOptions& opts, const std::string& tool);
+  ~BenchObs();
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  /// Null when tracing is disabled (callers pass it straight through).
+  [[nodiscard]] obs::EventTrace* trace() noexcept { return trace_.get(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
+    return trace_ ? &metrics_ : nullptr;
+  }
+  [[nodiscard]] bool active() const noexcept { return trace_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::EventTrace> trace_;
+  obs::MetricsRegistry metrics_;
+};
 
 /// The standard collection campaign (cached under tag "main<days>").
 core::Corpus main_corpus(const BenchOptions& opts);
 
 /// Experiment runner over the main corpus with paper-default settings.
-core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus);
+/// When `bench_obs` is active its trace/metrics are threaded through
+/// every trial the runner executes.
+core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus,
+                                   BenchObs* bench_obs = nullptr);
 
 /// Run (or load from cache) one Table II experiment.
 core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunner& runner,

@@ -6,8 +6,19 @@
 #include "cluster/congestion.hpp"
 #include "common/audit.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rush::cluster {
+
+void NetworkModel::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_probes_ = nullptr;
+    metric_rebuilds_ = nullptr;
+    return;
+  }
+  metric_probes_ = &metrics->counter("net.probe_calls");
+  metric_rebuilds_ = &metrics->counter("net.rebuilds");
+}
 
 NetworkModel::NetworkModel(const FatTree& tree) : tree_(tree) {
   ambient_.assign(static_cast<std::size_t>(tree_.num_links()), 0.0);
@@ -193,6 +204,7 @@ void NetworkModel::map_flows(const NodeSet& nodes, double per_node_gbps, Traffic
 }
 
 void NetworkModel::rebuild() {
+  if (metric_rebuilds_) metric_rebuilds_->inc();
   loads_ = ambient_;
   for (const auto& [id, state] : sources_) {
     for (const LinkShare& s : state.unit_shares)
@@ -260,6 +272,7 @@ double NetworkModel::slowdown(SourceId id) const {
 double NetworkModel::probe_slowdown(const NodeSet& nodes, double per_node_gbps,
                                     TrafficPattern pattern) const {
   RUSH_EXPECTS(valid_node_set(tree_, nodes));
+  if (metric_probes_) metric_probes_->inc();
   scratch_shares_.clear();
   map_flows(nodes, per_node_gbps, pattern, scratch_shares_);
   // The probe's own traffic must count toward the load it experiences:

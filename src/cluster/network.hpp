@@ -23,6 +23,11 @@
 
 #include "cluster/topology.hpp"
 
+namespace rush::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::cluster {
 
 /// Communication pattern of a traffic source. The pattern decides how much
@@ -85,6 +90,11 @@ class NetworkModel {
   /// Bumps on every mutation; observers use it to invalidate caches.
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
+  /// Publish model counters (probe calls, drift rebuilds) into an
+  /// observability registry. Null detaches; the probe path pays one null
+  /// check + add when attached and nothing else.
+  void set_metrics(obs::MetricsRegistry* metrics);  // rush-lint: allow(missing-expects) null detaches
+
   [[nodiscard]] const FatTree& tree() const noexcept { return tree_; }
 
   /// Recompute every per-link load from scratch (ambient + every live
@@ -141,6 +151,8 @@ class NetworkModel {
   std::vector<double> loads_;    // per-link total gbps, always current
   std::uint64_t generation_ = 0;
   std::uint64_t deltas_since_rebuild_ = 0;
+  obs::Counter* metric_probes_ = nullptr;    // owned by the attached registry
+  obs::Counter* metric_rebuilds_ = nullptr;
 
   // Flow-mapping scratch, preallocated to the topology's edge/pod counts
   // so steady-state probes never allocate; mutable because probes are

@@ -33,6 +33,12 @@ Environment::Environment(EnvironmentConfig config)
                                                       config_.execution, rng_for(0xE8EC));
 }
 
+void Environment::attach_obs(obs::EventTrace* trace, obs::MetricsRegistry* metrics) {
+  engine_.set_metrics(metrics);
+  network_->set_metrics(metrics);
+  sampler_->set_obs(trace, metrics);
+}
+
 cluster::NodeSet Environment::pod_nodes() const {
   return tree_->nodes_in_pod(config_.telemetry_pod);
 }

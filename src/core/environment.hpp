@@ -19,6 +19,11 @@
 #include "telemetry/sampler.hpp"
 #include "telemetry/store.hpp"
 
+namespace rush::obs {
+class EventTrace;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::core {
 
 struct EnvironmentConfig {
@@ -60,6 +65,14 @@ class Environment {
 
   /// Deterministic child RNG for a named component.
   [[nodiscard]] Rng rng_for(std::uint64_t tag) { return master_rng_.split(tag); }
+
+  /// Attach observability sinks to every layer the environment owns
+  /// (engine event counters, network probe/rebuild counters, sampler
+  /// congestion episodes). Either pointer may be null (that side
+  /// detaches), so all inputs are valid; both must outlive the
+  /// environment or be detached first.
+  // rush-lint: allow(missing-expects)
+  void attach_obs(obs::EventTrace* trace, obs::MetricsRegistry* metrics);
 
   /// Nodes of the telemetry pod (the experiment reservation).
   [[nodiscard]] cluster::NodeSet pod_nodes() const;

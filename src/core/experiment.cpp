@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace rush::core {
 
@@ -126,14 +127,21 @@ TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rus
     if (!std::binary_search(noise_nodes.begin(), noise_nodes.end(), n)) job_nodes.push_back(n);
   cluster::NodeAllocator allocator(std::move(job_nodes));
 
+  env.attach_obs(config_.trace, config_.metrics);
+
   sched::SchedulerConfig sc;
   sc.enable_backfill = true;
   sc.rush_enabled = use_rush;
   sc.delay_on_little_variation = config_.delay_on_little_variation;
   sc.skip_placement = config_.skip_placement;
+  sc.trace = config_.trace;
+  sc.metrics = config_.metrics;
 
   std::unique_ptr<RushOracle> oracle;
-  if (use_rush) oracle = std::make_unique<RushOracle>(env, *predictor);
+  if (use_rush) {
+    oracle = std::make_unique<RushOracle>(env, *predictor);
+    oracle->set_trace(config_.trace);
+  }
 
   SessionConfig session_config;
   session_config.apps = spec.run_apps;
@@ -169,8 +177,16 @@ TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rus
     });
   }
 
+  const char* policy_name = use_rush ? "rush" : "fcfs-easy";
+  if (config_.trace != nullptr)
+    config_.trace->emit_trial_start(env.engine().now(), policy_name, trial_seed);
+
   TrialResult result = session.run();
-  result.policy = use_rush ? "rush" : "fcfs-easy";
+  if (config_.trace != nullptr)
+    config_.trace->emit_trial_end(env.engine().now(), policy_name, trial_seed,
+                                  session.scheduler().makespan(),
+                                  session.scheduler().total_skips());
+  result.policy = policy_name;
   result.seed = trial_seed;
   result.oracle_evaluations = oracle ? oracle->evaluations() : 0;
   result.probe_noise_rate = std::move(result_probe.probe_noise_rate);

@@ -17,6 +17,11 @@
 #include "core/session.hpp"
 #include "sched/scheduler.hpp"
 
+namespace rush::obs {
+class EventTrace;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::core {
 
 enum class ExperimentId : std::uint8_t { ADAA, ADPA, PDPA, WS, SS };
@@ -63,6 +68,11 @@ struct ExperimentConfig {
   bool record_probe = false;
   /// Hard wall so a bugged trial cannot spin forever.
   double max_sim_s = 6.0 * 3600.0;
+  /// Optional observability sinks threaded through every layer of each
+  /// trial (environment, scheduler, oracle). Null disables; both must
+  /// outlive the runner.
+  obs::EventTrace* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ExperimentRunner {

@@ -1,6 +1,7 @@
 #include "core/rush_oracle.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace rush::core {
 
@@ -16,7 +17,11 @@ sched::VariabilityPrediction RushOracle::predict(const sched::Job& job,
   const auto features =
       env_.features().assemble(env_.engine().now(), predictor_.scope(), candidate_nodes, canary,
                                job.spec.app.workload);
-  return predictor_.predict(features);
+  const auto pred = predictor_.predict(features);
+  if (trace_ != nullptr)
+    trace_->emit_predict(env_.engine().now(), job.id, sched::prediction_name(pred),
+                         obs::feature_hash(features));
+  return pred;
 }
 
 }  // namespace rush::core

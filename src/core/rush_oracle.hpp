@@ -11,6 +11,10 @@
 #include "core/pipeline.hpp"
 #include "sched/oracle.hpp"
 
+namespace rush::obs {
+class EventTrace;
+}  // namespace rush::obs
+
 namespace rush::core {
 
 class RushOracle final : public sched::VariabilityOracle {
@@ -23,10 +27,16 @@ class RushOracle final : public sched::VariabilityOracle {
 
   [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
 
+  /// Record every predict() call (label + feature hash) into `trace`.
+  /// Null detaches, so all inputs are valid.
+  // rush-lint: allow(missing-expects)
+  void set_trace(obs::EventTrace* trace) noexcept { trace_ = trace; }
+
  private:
   Environment& env_;
   const TrainedPredictor& predictor_;
   std::uint64_t evaluations_ = 0;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace rush::core

@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rush::obs {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, res.ptr);
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  append_escaped(out_, k);
+  out_.push_back(':');
+}
+
+void JsonWriter::begin_object() {
+  if (!out_.empty() && need_comma_) out_.push_back(',');
+  out_.push_back('{');
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array(std::string_view k) {
+  key(k);
+  out_.push_back('[');
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  need_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view k, std::string_view value) {
+  key(k);
+  append_escaped(out_, value);
+}
+
+void JsonWriter::field(std::string_view k, const char* value) {
+  field(k, std::string_view(value));
+}
+
+void JsonWriter::field(std::string_view k, double value) {
+  key(k);
+  append_double(out_, value);
+}
+
+void JsonWriter::field(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(std::string_view k, int value) {
+  field(k, static_cast<std::int64_t>(value));
+}
+
+void JsonWriter::field(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::element(double value) {
+  comma();
+  append_double(out_, value);
+}
+
+void JsonWriter::element(std::uint64_t value) {
+  comma();
+  out_ += std::to_string(value);
+}
+
+}  // namespace rush::obs

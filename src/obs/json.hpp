@@ -1,0 +1,59 @@
+// Minimal append-only JSON writer for the observability layer.
+//
+// The trace and metrics sinks emit flat-ish JSON objects at high rates;
+// this writer builds them into a caller-owned std::string with no
+// intermediate DOM and no heap allocation beyond the string itself.
+// Output is deterministic: keys appear in emission order and doubles are
+// rendered with shortest-round-trip formatting, so identical runs produce
+// byte-identical records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rush::obs {
+
+/// Appends one JSON value/field at a time to a backing string. The caller
+/// is responsible for balanced begin/end calls; the writer only tracks
+/// whether a comma separator is due.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value);
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, int value);
+  void field(std::string_view key, bool value);
+
+  /// Array elements (only valid between begin_array/end_array).
+  void element(double value);
+  void element(std::uint64_t value);
+
+ private:
+  void comma();
+  void key(std::string_view k);
+
+  std::string& out_;
+  bool need_comma_ = false;
+};
+
+/// Appends `s` JSON-escaped (quotes, backslash, control chars) to `out`.
+void append_escaped(std::string& out, std::string_view s);
+
+/// Appends a double with shortest round-trip formatting ("1.5", "0.25",
+/// never "1.5000000"); NaN/Inf render as null per JSON rules.
+void append_double(std::string& out, double value);
+
+}  // namespace rush::obs

@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace rush::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+  RUSH_EXPECTS(hi > lo);
+  RUSH_EXPECTS(buckets > 0);
+  buckets_.assign(buckets + 2, 0);  // + underflow/overflow
+}
+
+void Histogram::record(double v) noexcept {
+  if (!std::isfinite(v)) return;
+  if (count_ == 0) {
+    observed_min_ = v;
+    observed_max_ = v;
+  } else {
+    observed_min_ = std::min(observed_min_, v);
+    observed_max_ = std::max(observed_max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  std::size_t idx;
+  if (v < lo_) {
+    idx = 0;
+  } else if (v >= hi_) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = 1 + static_cast<std::size_t>((v - lo_) / bucket_width());
+    idx = std::min(idx, buckets_.size() - 2);  // guard v == hi_ - epsilon rounding
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::min() const noexcept { return count_ ? observed_min_ : 0.0; }
+double Histogram::max() const noexcept { return count_ ? observed_max_ : 0.0; }
+
+double Histogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  RUSH_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return observed_min_;
+  if (q >= 1.0) return observed_max_;
+
+  // Rank in [1, count_]: the q-th smallest sample (nearest-rank, then
+  // linear interpolation within the containing bucket).
+  const double rank = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative < rank) continue;
+    if (i == 0) return observed_min_;                   // underflow bucket
+    if (i == buckets_.size() - 1) return observed_max_; // overflow bucket
+    const double b_lo = lo_ + static_cast<double>(i - 1) * bucket_width();
+    const double frac =
+        buckets_[i] == 0 ? 0.0 : (rank - prev) / static_cast<double>(buckets_[i]);
+    const double v = b_lo + frac * bucket_width();
+    return std::clamp(v, observed_min_, observed_max_);
+  }
+  return observed_max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                      std::size_t buckets) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, buckets);
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    append_double(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":" + std::to_string(h->count());
+    out += ",\"mean\":";
+    append_double(out, h->mean());
+    out += ",\"min\":";
+    append_double(out, h->min());
+    out += ",\"max\":";
+    append_double(out, h->max());
+    out += ",\"p50\":";
+    append_double(out, h->percentile(0.50));
+    out += ",\"p90\":";
+    append_double(out, h->percentile(0.90));
+    out += ",\"p99\":";
+    append_double(out, h->percentile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rush::obs

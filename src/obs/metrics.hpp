@@ -1,0 +1,107 @@
+// Process-local metrics: counters, gauges, fixed-bucket histograms.
+//
+// Call sites resolve their instrument once (a stable pointer into the
+// registry) and then update it with a plain member call — an increment is
+// one branch-free add, cheap enough for the network-probe and event-loop
+// hot paths. A snapshot renders every instrument into one deterministic
+// JSON object (keys sorted), which the bench harness writes alongside its
+// trace output.
+//
+// Instruments are intentionally simple: no tags, no wall-clock windows.
+// The simulator is single-threaded, so there is no atomics overhead
+// either.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rush::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed uniform-bucket histogram over [lo, hi) with underflow/overflow
+/// buckets. Records are O(1); percentile() interpolates linearly inside
+/// the containing bucket, which is exact for uniform data and within one
+/// bucket width otherwise.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Value at quantile q in [0, 1]. Returns the observed min/max at the
+  /// extremes; 0 when empty. Underflow/overflow samples clamp to the
+  /// observed extreme on their side.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+ private:
+  [[nodiscard]] double bucket_width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(buckets_.size() - 2);
+  }
+
+  double lo_;
+  double hi_;
+  // buckets_[0] = underflow, buckets_[n-1] = overflow.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double observed_min_ = 0.0;
+  double observed_max_ = 0.0;
+};
+
+/// Named instrument registry. Lookup by name creates on first use and
+/// returns a reference that stays valid for the registry's lifetime, so
+/// hot paths resolve once and cache the pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bucket shape is fixed by the first call for a given name; later
+  /// calls with the same name return the existing histogram.
+  Histogram& histogram(const std::string& name, double lo, double hi, std::size_t buckets);
+
+  /// One JSON object over every instrument, keys sorted by name:
+  ///   {"counters":{...},"gauges":{...},"histograms":{"x":{"count":..,
+  ///    "mean":..,"p50":..,"p90":..,"p99":..,"min":..,"max":..}}}
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  // std::map: snapshot output must be deterministically ordered.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rush::obs

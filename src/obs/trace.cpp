@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+#include <fstream>
+#include <memory>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace rush::obs {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 1 << 16;
+}
+
+EventTrace::EventTrace(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) throw ParseError("EventTrace: cannot open " + path);
+  sink_ = file.release();
+  owns_sink_ = true;
+  buffer_.reserve(kFlushThreshold);
+}
+
+EventTrace::EventTrace(std::ostream& os) : sink_(&os) { buffer_.reserve(kFlushThreshold); }
+
+EventTrace::~EventTrace() {
+  flush();
+  if (owns_sink_) delete sink_;
+}
+
+void EventTrace::flush() {
+  if (!sink_ || buffer_.empty()) return;
+  sink_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  sink_->flush();
+  bytes_flushed_ += buffer_.size();
+  buffer_.clear();
+}
+
+void EventTrace::begin_record(double t_s, std::string_view event) {
+  buffer_ += "{\"v\":";
+  buffer_ += std::to_string(kSchemaVersion);
+  buffer_ += ",\"seq\":";
+  buffer_ += std::to_string(seq_);
+  buffer_ += ",\"t\":";
+  append_double(buffer_, t_s);
+  buffer_ += ",\"ev\":";
+  append_escaped(buffer_, event);
+}
+
+void EventTrace::end_record() {
+  buffer_ += "}\n";
+  ++seq_;
+  if (buffer_.size() >= kFlushThreshold) flush();
+}
+
+void EventTrace::emit_trial_start(double t_s, std::string_view policy, std::uint64_t seed) {
+  if (!sink_) return;
+  begin_record(t_s, "trial_start");
+  buffer_ += ",\"policy\":";
+  append_escaped(buffer_, policy);
+  buffer_ += ",\"seed\":" + std::to_string(seed);
+  end_record();
+}
+
+void EventTrace::emit_trial_end(double t_s, std::string_view policy, std::uint64_t seed,
+                                double makespan_s, std::uint64_t total_skips) {
+  if (!sink_) return;
+  begin_record(t_s, "trial_end");
+  buffer_ += ",\"policy\":";
+  append_escaped(buffer_, policy);
+  buffer_ += ",\"seed\":" + std::to_string(seed);
+  buffer_ += ",\"makespan_s\":";
+  append_double(buffer_, makespan_s);
+  buffer_ += ",\"total_skips\":" + std::to_string(total_skips);
+  end_record();
+}
+
+void EventTrace::emit_job_submit(double t_s, std::uint64_t job_id, std::string_view app,
+                                 int num_nodes, double walltime_estimate_s) {
+  if (!sink_) return;
+  begin_record(t_s, "job_submit");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"app\":";
+  append_escaped(buffer_, app);
+  buffer_ += ",\"nodes\":" + std::to_string(num_nodes);
+  buffer_ += ",\"walltime_est_s\":";
+  append_double(buffer_, walltime_estimate_s);
+  end_record();
+}
+
+void EventTrace::emit_job_start(double t_s, std::uint64_t job_id, double wait_s, bool backfilled,
+                                const std::vector<int>& nodes) {
+  if (!sink_) return;
+  begin_record(t_s, "job_start");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"wait_s\":";
+  append_double(buffer_, wait_s);
+  buffer_ += ",\"backfilled\":";
+  buffer_ += backfilled ? "true" : "false";
+  buffer_ += ",\"node_ids\":[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) buffer_.push_back(',');
+    buffer_ += std::to_string(nodes[i]);
+  }
+  buffer_ += "]";
+  end_record();
+}
+
+void EventTrace::emit_job_end(double t_s, std::uint64_t job_id, double runtime_s, double slowdown,
+                              int skips) {
+  if (!sink_) return;
+  begin_record(t_s, "job_end");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"runtime_s\":";
+  append_double(buffer_, runtime_s);
+  buffer_ += ",\"slowdown\":";
+  append_double(buffer_, slowdown);
+  buffer_ += ",\"skips\":" + std::to_string(skips);
+  end_record();
+}
+
+void EventTrace::emit_alloc_decision(double t_s, std::uint64_t head_job_id, double reservation_s,
+                                     const std::vector<CandidateScore>& scores) {
+  if (!sink_) return;
+  begin_record(t_s, "alloc_decision");
+  buffer_ += ",\"head_job\":" + std::to_string(head_job_id);
+  buffer_ += ",\"reservation_s\":";
+  append_double(buffer_, reservation_s);
+  buffer_ += ",\"candidates\":[";
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i) buffer_.push_back(',');
+    buffer_ += "{\"job\":" + std::to_string(scores[i].job_id) + ",\"score\":";
+    append_double(buffer_, scores[i].score);
+    buffer_ += "}";
+  }
+  buffer_ += "]";
+  end_record();
+}
+
+void EventTrace::emit_alg2_skip(double t_s, std::uint64_t job_id, std::string_view prediction,
+                                int skip_count, int skip_threshold) {
+  if (!sink_) return;
+  begin_record(t_s, "alg2_skip");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"prediction\":";
+  append_escaped(buffer_, prediction);
+  buffer_ += ",\"skip_count\":" + std::to_string(skip_count);
+  buffer_ += ",\"skip_threshold\":" + std::to_string(skip_threshold);
+  end_record();
+}
+
+void EventTrace::emit_predict(double t_s, std::uint64_t job_id, std::string_view label,
+                              std::uint64_t feature_hash) {
+  if (!sink_) return;
+  begin_record(t_s, "predict");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"label\":";
+  append_escaped(buffer_, label);
+  buffer_ += ",\"feature_hash\":\"";
+  // Hex, quoted: 64-bit values are not exactly representable as JSON
+  // numbers in every consumer.
+  constexpr char digits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    buffer_.push_back(digits[(feature_hash >> shift) & 0xF]);
+  buffer_ += "\"";
+  end_record();
+}
+
+void EventTrace::emit_congestion_episode(double t_s, double start_s, int link_id,
+                                         double peak_utilization) {
+  if (!sink_) return;
+  begin_record(t_s, "congestion");
+  buffer_ += ",\"start_s\":";
+  append_double(buffer_, start_s);
+  buffer_ += ",\"link\":" + std::to_string(link_id);
+  buffer_ += ",\"peak_util\":";
+  append_double(buffer_, peak_utilization);
+  end_record();
+}
+
+std::uint64_t feature_hash(const std::vector<double>& values) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (double v : values) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v);  // fold -0.0 into 0.0
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+}  // namespace rush::obs

@@ -1,0 +1,117 @@
+// Structured run-trace sink: schema-versioned JSONL event records.
+//
+// Every consequential runtime decision — job lifecycle transitions,
+// Algorithm-2 skips, allocation choices with their candidate scores,
+// model predict calls, congestion episodes — is appended as one JSON
+// object per line, stamped with the *simulated* time at which it
+// happened (rush_lint's trace-sim-time rule enforces that call sites
+// never pass wall-clock values). tools/trace_report.py turns a trace
+// into a per-trial summary; docs/trace-format.md is the schema
+// reference.
+//
+// A default-constructed EventTrace is disabled: every emit_* returns
+// after one predictable branch and writes nothing ("zero-overhead no-op
+// mode"), so call sites can hold an always-valid pointer without
+// guarding. Enabled traces buffer into an internal string and flush to
+// the sink on destruction or flush().
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rush::obs {
+
+/// One scored allocation candidate (see emit_alloc_decision).
+struct CandidateScore {
+  std::uint64_t job_id = 0;
+  double score = 0.0;
+};
+
+class EventTrace {
+ public:
+  /// Bump when a record gains/loses/renames fields; see
+  /// docs/trace-format.md for the versioning policy.
+  static constexpr int kSchemaVersion = 1;
+
+  /// Disabled trace: every emit is a no-op, zero bytes are written.
+  EventTrace() = default;
+  /// Enabled trace appending to `path` (truncates an existing file).
+  /// Throws ParseError when the file cannot be opened.
+  explicit EventTrace(const std::string& path);
+  /// Enabled trace writing to a caller-owned stream (tests, stdout).
+  explicit EventTrace(std::ostream& os);
+  ~EventTrace();
+
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+  /// Total bytes handed to the sink plus bytes still buffered. Stays 0
+  /// for a disabled trace however many emits happen.
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_flushed_ + buffer_.size();
+  }
+  [[nodiscard]] std::uint64_t records_emitted() const noexcept { return seq_; }
+
+  void flush();
+
+  // Every emit_* takes the current simulated time `t_s` as its first
+  // argument. Records carry {"v","seq","t","ev"} plus the listed fields.
+
+  /// ev=trial_start: one workload trial begins (fields: policy, seed).
+  void emit_trial_start(double t_s, std::string_view policy, std::uint64_t seed);
+  /// ev=trial_end: makespan and Algorithm-2 totals for the trial.
+  void emit_trial_end(double t_s, std::string_view policy, std::uint64_t seed,
+                      double makespan_s, std::uint64_t total_skips);
+
+  /// ev=job_submit: job entered the queue.
+  void emit_job_submit(double t_s, std::uint64_t job_id, std::string_view app, int num_nodes,
+                       double walltime_estimate_s);
+  /// ev=job_start: job launched (nodes actually allocated).
+  void emit_job_start(double t_s, std::uint64_t job_id, double wait_s, bool backfilled,
+                      const std::vector<int>& nodes);
+  /// ev=job_end: job completed; slowdown is the contention inflation the
+  /// run actually experienced (1 = uncontended).
+  void emit_job_end(double t_s, std::uint64_t job_id, double runtime_s, double slowdown,
+                    int skips);
+
+  /// ev=alloc_decision: the scheduler chose among backfill candidates;
+  /// `scores` come from the active queue policy (lower runs earlier).
+  void emit_alloc_decision(double t_s, std::uint64_t head_job_id, double reservation_s,
+                           const std::vector<CandidateScore>& scores);
+
+  /// ev=alg2_skip: Algorithm 2 delayed a job instead of launching it.
+  void emit_alg2_skip(double t_s, std::uint64_t job_id, std::string_view prediction,
+                      int skip_count, int skip_threshold);
+
+  /// ev=predict: one oracle/model evaluation. `feature_hash` is a stable
+  /// 64-bit FNV-1a hash of the assembled feature vector so deviating runs
+  /// can be diffed without storing 282 floats per call.
+  void emit_predict(double t_s, std::uint64_t job_id, std::string_view label,
+                    std::uint64_t feature_hash);
+
+  /// ev=congestion: one max-congestion episode observed by the telemetry
+  /// sampler ended (worst link utilization stayed above the episode
+  /// threshold from `start_s` until `t_s`).
+  void emit_congestion_episode(double t_s, double start_s, int link_id, double peak_utilization);
+
+ private:
+  /// Opens a record ({"v":..,"seq":..,"t":..,"ev":..) ready for fields.
+  void begin_record(double t_s, std::string_view event);
+  void end_record();
+
+  std::ostream* sink_ = nullptr;  // null = disabled
+  bool owns_sink_ = false;
+  std::string buffer_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t bytes_flushed_ = 0;
+};
+
+/// Stable 64-bit FNV-1a over the bit patterns of a double vector; the
+/// feature fingerprint carried by predict records.
+[[nodiscard]] std::uint64_t feature_hash(const std::vector<double>& values) noexcept;
+
+}  // namespace rush::obs

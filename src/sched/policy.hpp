@@ -20,6 +20,13 @@ class QueuePolicyBase {
   [[nodiscard]] virtual std::string name() const = 0;
   /// Strict weak ordering: true when `a` should run before `b`.
   [[nodiscard]] virtual bool before(const Job& a, const Job& b) const = 0;
+  /// Scalar priority key behind `before` (smaller runs earlier), recorded
+  /// in allocation-decision trace events. Defaulted so external policies
+  /// that only define an ordering keep compiling.
+  [[nodiscard]] virtual double score(const Job& job) const {
+    (void)job;
+    return 0.0;
+  }
 };
 
 /// First-come first-served: submit time, job id as tie-break.
@@ -30,6 +37,7 @@ class FcfsPolicy final : public QueuePolicyBase {
     if (a.submit_s != b.submit_s) return a.submit_s < b.submit_s;
     return a.id < b.id;
   }
+  [[nodiscard]] double score(const Job& job) const override { return job.submit_s; }
 };
 
 /// Shortest job first by user walltime estimate.
@@ -40,6 +48,9 @@ class SjfPolicy final : public QueuePolicyBase {
     if (a.spec.walltime_estimate_s != b.spec.walltime_estimate_s)
       return a.spec.walltime_estimate_s < b.spec.walltime_estimate_s;
     return a.id < b.id;
+  }
+  [[nodiscard]] double score(const Job& job) const override {
+    return job.spec.walltime_estimate_s;
   }
 };
 

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rush::sched {
 
@@ -31,6 +33,15 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
   RUSH_EXPECTS(backfill_policy_ != nullptr);
   RUSH_EXPECTS(!config_.rush_enabled || oracle_ != nullptr);
   RUSH_EXPECTS(config_.retry_period_s > 0.0);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    metric_passes_ = &m.counter("sched.passes");
+    metric_launches_ = &m.counter("sched.launches");
+    metric_backfills_ = &m.counter("sched.backfills");
+    metric_skips_ = &m.counter("sched.skips");
+    metric_queue_depth_ = &m.histogram("sched.queue_depth", 0.0, 256.0, 64);
+    metric_slowdown_ = &m.histogram("sched.slowdown", 1.0, 3.0, 80);
+  }
 }
 
 void Scheduler::insert_in_queue(JobId id) {
@@ -54,6 +65,11 @@ JobId Scheduler::submit(JobSpec spec) {
   jobs_.emplace(id, std::move(job));
   submit_order_.push_back(id);
   insert_in_queue(id);
+  if (config_.trace != nullptr) {
+    const Job& j = jobs_.at(id);
+    config_.trace->emit_job_submit(engine_.now(), j.id, j.app_name(), j.spec.num_nodes,
+                                   j.spec.walltime_estimate_s);
+  }
   schedule_pass();
   return id;
 }
@@ -75,6 +91,9 @@ JobId Scheduler::submit_at(sim::Time when, JobSpec spec) {
     first_submit_s_ = std::min(first_submit_s_, j.submit_s);
     submit_order_.push_back(id);
     insert_in_queue(id);
+    if (config_.trace != nullptr)
+      config_.trace->emit_job_submit(engine_.now(), j.id, j.app_name(), j.spec.num_nodes,
+                                     j.spec.walltime_estimate_s);
     schedule_pass();
   });
   return id;
@@ -161,6 +180,10 @@ Scheduler::StartOutcome Scheduler::try_start(JobId id, bool via_backfill) {
       ++job.skip_count;
       ++total_skips_;
       job.last_delay_s = engine_.now();
+      if (metric_skips_) metric_skips_->inc();
+      if (config_.trace != nullptr)
+        config_.trace->emit_alg2_skip(engine_.now(), job.id, prediction_name(pred),
+                                      job.skip_count, job.spec.skip_threshold);
       return StartOutcome::Delayed;
     }
   }
@@ -185,6 +208,10 @@ void Scheduler::launch(Job& job, cluster::NodeSet nodes, bool via_backfill) {
                                  [this, id](const apps::RunRecord& record) {
                                    handle_completion(id, record);
                                  });
+  if (metric_launches_) metric_launches_->inc();
+  if (via_backfill && metric_backfills_) metric_backfills_->inc();
+  if (config_.trace != nullptr)
+    config_.trace->emit_job_start(engine_.now(), job.id, job.wait_s(), via_backfill, job.nodes);
   if (start_hook_) start_hook_(job);
 }
 
@@ -198,6 +225,10 @@ void Scheduler::handle_completion(JobId id, const apps::RunRecord& record) {
   job.record = record;
   running_.erase(id);
   completed_order_.push_back(id);
+  if (metric_slowdown_) metric_slowdown_->record(record.slowdown());
+  if (config_.trace != nullptr)
+    config_.trace->emit_job_end(engine_.now(), job.id, job.runtime_s(), record.slowdown(),
+                                job.skip_count);
   if (complete_hook_) complete_hook_(job);
   schedule_pass();
 }
@@ -226,6 +257,8 @@ void Scheduler::schedule_pass() {
   do {
     pass_requested_ = false;
     ++passes_;
+    if (metric_passes_) metric_passes_->inc();
+    if (metric_queue_depth_) metric_queue_depth_->record(static_cast<double>(queue_.size()));
     bool any_delayed = false;
 
     // Walk a snapshot: starts mutate queue_, and jobs delayed in this pass
@@ -263,6 +296,19 @@ void Scheduler::schedule_pass() {
         std::sort(candidates.begin(), candidates.end(), [&](JobId a, JobId b) {
           return backfill_policy_->before(jobs_.at(a), jobs_.at(b));
         });
+
+        if (config_.trace != nullptr && config_.trace->enabled()) {
+          // Allocation decision: head job's reservation plus the scored
+          // backfill candidates (capped to keep records bounded).
+          std::vector<obs::CandidateScore> scored;
+          constexpr std::size_t kMaxScored = 8;
+          scored.reserve(std::min(candidates.size(), kMaxScored));
+          for (JobId c : candidates) {
+            if (scored.size() >= kMaxScored) break;
+            scored.push_back({c, backfill_policy_->score(jobs_.at(c))});
+          }
+          config_.trace->emit_alloc_decision(engine_.now(), id, res.at, scored);
+        }
 
         int free_now = allocator_.free_count();
         int spare = res.spare_nodes;

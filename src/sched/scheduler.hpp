@@ -26,6 +26,13 @@
 #include "sched/oracle.hpp"
 #include "sched/policy.hpp"
 
+namespace rush::obs {
+class Counter;
+class EventTrace;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::sched {
 
 enum class SkipPlacement : std::uint8_t { Front, AfterFront };
@@ -47,6 +54,13 @@ struct SchedulerConfig {
   /// (and without consuming another skip), so the skip threshold spans a
   /// congestion episode rather than a burst of scheduler passes.
   double min_reconsider_interval_s = 90.0;
+  /// Optional observability sinks (either may stay null, costing one
+  /// branch per emit point): job lifecycle / allocation-decision /
+  /// Algorithm-2 skip records go to `trace`; queue-depth and slowdown
+  /// distributions plus pass/launch counters go to `metrics`. Both must
+  /// outlive the scheduler.
+  obs::EventTrace* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Scheduler {
@@ -141,6 +155,15 @@ class Scheduler {
   bool retry_armed_ = false;
   JobEventFn start_hook_;
   JobEventFn complete_hook_;
+
+  // Cached observability instruments (owned by config_.metrics; all null
+  // when no registry is attached).
+  obs::Counter* metric_passes_ = nullptr;
+  obs::Counter* metric_launches_ = nullptr;
+  obs::Counter* metric_backfills_ = nullptr;
+  obs::Counter* metric_skips_ = nullptr;
+  obs::Histogram* metric_queue_depth_ = nullptr;
+  obs::Histogram* metric_slowdown_ = nullptr;
 };
 
 }  // namespace rush::sched

@@ -5,8 +5,19 @@
 
 #include "common/audit.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rush::sim {
+
+void Engine::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_executed_ = nullptr;
+    metric_cancelled_ = nullptr;
+    return;
+  }
+  metric_executed_ = &metrics->counter("engine.events_executed");
+  metric_cancelled_ = &metrics->counter("engine.events_cancelled");
+}
 
 void Engine::push_event(Time t, EventId id, std::function<void()> fn) {
   heap_.push_back(Event{t, id, std::move(fn)});
@@ -51,6 +62,7 @@ bool Engine::cancel(EventId id) {
   if (queued_.contains(id)) {
     queued_.erase(id);
     cancelled_.insert(id);
+    if (metric_cancelled_) metric_cancelled_->inc();
     return true;
   }
   // A periodic task cancelled from inside its own callback has no queued
@@ -103,6 +115,7 @@ bool Engine::step() {
   RUSH_ASSERT(ev.t >= now_);
   now_ = ev.t;
   ++executed_;
+  if (metric_executed_) metric_executed_->inc();
   ev.fn();
   return true;
 }
@@ -125,6 +138,7 @@ void Engine::run_until(Time t_end) {
     }
     now_ = ev.t;
     ++executed_;
+    if (metric_executed_) metric_executed_->inc();
     ev.fn();
   }
   now_ = t_end;

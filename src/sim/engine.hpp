@@ -11,6 +11,11 @@
 #include <unordered_set>
 #include <vector>
 
+namespace rush::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::sim {
 
 struct AuditTestPeer;  // test-only state corruption (tests/audit)
@@ -61,6 +66,12 @@ class Engine {
   [[nodiscard]] std::size_t pending_events() const noexcept { return queued_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+  /// Publish engine counters (events executed / cancelled) into an
+  /// observability registry. A null registry detaches, so every input is
+  /// valid; the hot path pays one null check + add when attached.
+  // rush-lint: allow(missing-expects)
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Re-derives the queue bookkeeping from scratch and throws AuditError
   /// on corruption: the heap property must hold, no queued event may lie
   /// in the past, and every heap entry must be tracked as exactly one of
@@ -89,6 +100,8 @@ class Engine {
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  obs::Counter* metric_executed_ = nullptr;   // owned by the attached registry
+  obs::Counter* metric_cancelled_ = nullptr;
   // Min-heap on (t, id) via std::push_heap/pop_heap. Owning the container
   // (instead of std::priority_queue) gives pop_next a well-defined move
   // out of the root and lets audit_invariants() inspect every element.

@@ -1,6 +1,8 @@
 #include "telemetry/sampler.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/schema.hpp"
 
 namespace rush::telemetry {
@@ -26,19 +28,40 @@ void CounterSampler::stop() {
   engine_.cancel(task_);
 }
 
+void CounterSampler::set_obs(obs::EventTrace* trace, obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metric_worst_util_ =
+      metrics ? &metrics->histogram("telemetry.max_link_util", 0.0, 2.0, 40) : nullptr;
+}
+
 void CounterSampler::sample_now() {
   const auto schema = counter_schema();
   const auto& tree = net_.tree();
   const auto& nodes = store_.managed_nodes();
   const double io_pressure = lustre_.slowdown() - 1.0;
 
+  // Worst fabric utilization this frame and the link responsible — the
+  // signal behind max-congestion episode records.
+  double worst_util = 0.0;
+  cluster::LinkId worst_link = -1;
+
   float* out = scratch_.data();
   for (cluster::NodeId node : nodes) {
     NodeSignals s;
+    const cluster::LinkId edge_link = tree.edge_uplink(tree.edge_of(node));
+    const cluster::LinkId pod_link = tree.pod_uplink(tree.pod_of(node));
     s.xmit_gbps = net_.node_xmit_gbps(node);
     s.recv_gbps = net_.node_recv_gbps(node);
-    s.edge_util = net_.link_utilization(tree.edge_uplink(tree.edge_of(node)));
-    s.pod_util = net_.link_utilization(tree.pod_uplink(tree.pod_of(node)));
+    s.edge_util = net_.link_utilization(edge_link);
+    s.pod_util = net_.link_utilization(pod_link);
+    if (s.edge_util > worst_util) {
+      worst_util = s.edge_util;
+      worst_link = edge_link;
+    }
+    if (s.pod_util > worst_util) {
+      worst_util = s.pod_util;
+      worst_link = pod_link;
+    }
     s.io_read_gbps = lustre_.node_read_gbps(node);
     s.io_write_gbps = lustre_.node_write_gbps(node);
     s.io_pressure = io_pressure;
@@ -46,6 +69,25 @@ void CounterSampler::sample_now() {
       *out++ = static_cast<float>(synth_value(def, s, rng_));
   }
   store_.add_frame(engine_.now(), scratch_);
+
+  if (metric_worst_util_) metric_worst_util_->record(worst_util);
+  if (in_episode_) {
+    if (worst_util > episode_peak_) {
+      episode_peak_ = worst_util;
+      episode_link_ = worst_link;
+    }
+    if (worst_util < config_.episode_util_threshold) {
+      if (trace_)
+        trace_->emit_congestion_episode(engine_.now(), episode_start_s_, episode_link_,
+                                        episode_peak_);
+      in_episode_ = false;
+    }
+  } else if (worst_util >= config_.episode_util_threshold) {
+    in_episode_ = true;
+    episode_start_s_ = engine_.now();
+    episode_peak_ = worst_util;
+    episode_link_ = worst_link;
+  }
 }
 
 }  // namespace rush::telemetry

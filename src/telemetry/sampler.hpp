@@ -13,10 +13,20 @@
 #include "sim/engine.hpp"
 #include "telemetry/store.hpp"
 
+namespace rush::obs {
+class EventTrace;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rush::obs
+
 namespace rush::telemetry {
 
 struct SamplerConfig {
   double period_s = 30.0;
+  /// A max-congestion episode starts when the worst fabric-link
+  /// utilization seen by a frame crosses this and ends when it falls
+  /// back below; episode records go to the attached EventTrace.
+  double episode_util_threshold = 0.9;
 };
 
 class CounterSampler {
@@ -33,6 +43,12 @@ class CounterSampler {
   /// Capture one frame right now regardless of running state.
   void sample_now();
 
+  /// Attach observability sinks: per-frame worst-utilization histogram
+  /// and frame counter into `metrics`, max-congestion episode records
+  /// into `trace`. Either may be null (that side detaches), so all
+  /// inputs are valid.
+  void set_obs(obs::EventTrace* trace, obs::MetricsRegistry* metrics);
+
  private:
   sim::Engine& engine_;
   const cluster::NetworkModel& net_;
@@ -43,6 +59,14 @@ class CounterSampler {
   sim::EventId task_ = 0;
   bool running_ = false;
   std::vector<float> scratch_;
+
+  obs::EventTrace* trace_ = nullptr;
+  obs::Histogram* metric_worst_util_ = nullptr;  // owned by the registry
+  // Episode tracking across frames (see SamplerConfig threshold).
+  bool in_episode_ = false;
+  double episode_start_s_ = 0.0;
+  double episode_peak_ = 0.0;
+  cluster::LinkId episode_link_ = -1;
 };
 
 }  // namespace rush::telemetry

@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rush::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty
+  h.record(1.0);
+  h.record(3.0);
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, PercentilesOnUniformData) {
+  // 1000 evenly spaced samples over [0, 100): percentiles should land
+  // within one bucket width (1.0) of the exact quantile.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.record(static_cast<double>(i) * 0.1);
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 99.9);
+}
+
+TEST(Histogram, PercentileIsMonotoneInQ) {
+  Histogram h(0.0, 1.0, 20);
+  for (int i = 0; i < 500; ++i) h.record(static_cast<double>(i % 97) / 96.0);
+  double prev = h.percentile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, UnderflowOverflowClampToObservedExtremes) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(-5.0);   // underflow bucket
+  h.record(100.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Quantiles never extrapolate beyond what was actually observed.
+  EXPECT_GE(h.percentile(0.01), -5.0);
+  EXPECT_LE(h.percentile(0.99), 100.0);
+}
+
+TEST(Histogram, SingleSampleAllPercentilesEqualIt) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.25);
+}
+
+TEST(MetricsRegistry, InstrumentsAreStableAcrossLookups) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.inc(5);
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  Histogram& h = reg.histogram("h", 0.0, 1.0, 4);
+  // Later shape arguments are ignored for an existing name.
+  EXPECT_EQ(&reg.histogram("h", 5.0, 9.0, 99), &h);
+}
+
+TEST(MetricsRegistry, SnapshotJsonContainsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("jobs").inc(3);
+  reg.gauge("depth").set(2.5);
+  Histogram& h = reg.histogram("wait", 0.0, 100.0, 10);
+  h.record(10.0);
+  h.record(20.0);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministic) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("b").inc(2);
+    reg.counter("a").inc(1);
+    reg.gauge("g").set(1.5);
+    return reg.snapshot_json();
+  };
+  EXPECT_EQ(build(), build());
+  // Keys come out sorted regardless of creation order.
+  const std::string json = build();
+  EXPECT_LT(json.find("\"a\":1"), json.find("\"b\":2"));
+}
+
+}  // namespace
+}  // namespace rush::obs

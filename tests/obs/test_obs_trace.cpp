@@ -1,0 +1,350 @@
+// EventTrace behaviour: zero-overhead no-op mode, and a round-trip that
+// drives a real scheduler run into a trace, then parses every JSONL line
+// with a strict little JSON reader and checks the schema invariants
+// documented in docs/trace-format.md.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/execution.hpp"
+#include "cluster/allocator.hpp"
+#include "obs/manifest.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rush::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader (objects, arrays, strings, numbers, bools,
+// null). Fails the test on any syntax error; collects top-level scalar
+// fields so assertions can inspect them.
+// ---------------------------------------------------------------------------
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  /// Parses one complete JSON value; returns false on any syntax error
+  /// or trailing garbage.
+  bool parse_top(std::map<std::string, std::string>& top_fields) {
+    top_ = &top_fields;
+    skip_ws();
+    if (!parse_value(/*depth=*/0)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            pos_ += 4;  // not decoded; presence-checked only
+            out += '?';
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool parse_number(std::string& out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out = s_.substr(start, pos_ - start);
+    return true;
+  }
+  bool parse_value(int depth, std::string* scalar_out = nullptr) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    std::string scratch;
+    std::string& scalar = scalar_out ? *scalar_out : scratch;
+    if (c == '{') {
+      ++pos_;
+      if (eat('}')) return true;
+      do {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!eat(':')) return false;
+        std::string value;
+        if (!parse_value(depth + 1, &value)) return false;
+        if (depth == 0 && top_ != nullptr && !value.empty()) (*top_)[key] = value;
+      } while (eat(','));
+      return eat('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      if (eat(']')) return true;
+      do {
+        if (!parse_value(depth + 1)) return false;
+      } while (eat(','));
+      return eat(']');
+    }
+    if (c == '"') return parse_string(scalar);
+    if (s_.compare(pos_, 4, "true") == 0) { pos_ += 4; scalar = "true"; return true; }
+    if (s_.compare(pos_, 5, "false") == 0) { pos_ += 5; scalar = "false"; return true; }
+    if (s_.compare(pos_, 4, "null") == 0) { pos_ += 4; scalar = "null"; return true; }
+    return parse_number(scalar);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string>* top_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// A tiny deterministic scheduler world (no traffic, no noise).
+// ---------------------------------------------------------------------------
+sched::JobSpec quiet_spec(int nodes, double runtime_s) {
+  apps::AppProfile app;
+  app.name = "quiet";
+  app.base_runtime_s = runtime_s;
+  app.compute_frac = 1.0;
+  app.network_frac = 0.0;
+  app.io_frac = 0.0;
+  app.net_gbps_per_node = 0.0;
+  app.io_gbps_per_node = 0.0;
+  app.noise_sigma = 0.0;
+  app.serial_fraction = 1.0;
+  sched::JobSpec spec;
+  spec.app = app;
+  spec.num_nodes = nodes;
+  spec.walltime_estimate_s = runtime_s * 1.2;
+  return spec;
+}
+
+class AlwaysVariation final : public sched::VariabilityOracle {
+ public:
+  sched::VariabilityPrediction predict(const sched::Job& job, const cluster::NodeSet&) override {
+    // First attempt of every job is "variation"; retries pass.
+    return job.skip_count == 0 ? sched::VariabilityPrediction::Variation
+                               : sched::VariabilityPrediction::NoVariation;
+  }
+};
+
+struct World {
+  World() : tree(config()), net(tree), fs(1000.0),
+            exec(engine, net, fs, exec_config(), Rng(1)),
+            allocator(tree.nodes_in_pod(0)) {}
+
+  static cluster::FatTreeConfig config() {
+    cluster::FatTreeConfig cfg;
+    cfg.pods = 1;
+    cfg.edges_per_pod = 2;
+    cfg.nodes_per_edge = 32;
+    return cfg;
+  }
+  static apps::ExecutionConfig exec_config() {
+    apps::ExecutionConfig cfg;
+    cfg.os_noise = 0.0;
+    return cfg;
+  }
+
+  sim::Engine engine;
+  cluster::FatTree tree;
+  cluster::NetworkModel net;
+  cluster::LustreModel fs;
+  apps::ExecutionModel exec;
+  cluster::NodeAllocator allocator;
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(EventTrace, DisabledTraceWritesNothing) {
+  EventTrace trace;  // no-op mode
+  EXPECT_FALSE(trace.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    trace.emit_job_submit(static_cast<double>(i), 1, "app", 16, 100.0);
+    trace.emit_job_start(static_cast<double>(i), 1, 0.0, false, {1, 2, 3});
+    trace.emit_job_end(static_cast<double>(i), 1, 50.0, 1.0, 0);
+    trace.emit_predict(static_cast<double>(i), 1, "variation", 0xDEADBEEF);
+    trace.emit_alg2_skip(static_cast<double>(i), 1, "variation", 1, 10);
+    trace.emit_congestion_episode(static_cast<double>(i), 0.0, 3, 1.5);
+  }
+  trace.flush();
+  EXPECT_EQ(trace.bytes_written(), 0u);
+  EXPECT_EQ(trace.records_emitted(), 0u);
+}
+
+TEST(EventTrace, RoundTripThroughSchedulerRun) {
+  std::ostringstream sink;
+  {
+    EventTrace trace(sink);
+    ASSERT_TRUE(trace.enabled());
+
+    World w;
+    AlwaysVariation oracle;
+    sched::SchedulerConfig sc;
+    sc.rush_enabled = true;
+    sc.min_reconsider_interval_s = 10.0;
+    sc.retry_period_s = 15.0;
+    sc.trace = &trace;
+    sched::Scheduler scheduler(w.engine, w.allocator, w.exec,
+                               std::make_unique<sched::FcfsPolicy>(),
+                               std::make_unique<sched::FcfsPolicy>(), sc, &oracle);
+
+    trace.emit_trial_start(w.engine.now(), "test", 7);
+    for (int i = 0; i < 6; ++i) scheduler.submit(quiet_spec(16, 100.0));
+    scheduler.submit_at(50.0, quiet_spec(16, 40.0));
+    w.engine.run();
+    ASSERT_EQ(scheduler.completed_count(), 7u);
+    trace.emit_trial_end(w.engine.now(), "test", 7, scheduler.makespan(),
+                         scheduler.total_skips());
+    EXPECT_GT(scheduler.total_skips(), 0u);
+    trace.flush();
+    EXPECT_EQ(trace.bytes_written(), sink.str().size());
+  }
+
+  const auto lines = lines_of(sink.str());
+  ASSERT_GE(lines.size(), 16u);  // 7 x (submit+start+end) + trial pair minus none
+
+  double prev_t = -1.0;
+  std::uint64_t prev_seq = 0;
+  std::map<std::string, int> event_counts;
+  for (const std::string& line : lines) {
+    std::map<std::string, std::string> f;
+    JsonReader reader(line);
+    ASSERT_TRUE(reader.parse_top(f)) << "bad JSON: " << line;
+    // Schema envelope: every record carries v/seq/t/ev.
+    ASSERT_TRUE(f.contains("v") && f.contains("seq") && f.contains("t") && f.contains("ev"))
+        << line;
+    EXPECT_EQ(f["v"], std::to_string(EventTrace::kSchemaVersion));
+    const double t = std::stod(f["t"]);
+    const std::uint64_t seq = std::stoull(f["seq"]);
+    EXPECT_GE(t, prev_t) << "sim time went backwards: " << line;
+    if (prev_seq != 0) {
+      EXPECT_EQ(seq, prev_seq + 1) << "seq gap: " << line;
+    }
+    prev_t = t;
+    prev_seq = seq;
+
+    const std::string ev = f["ev"];
+    ++event_counts[ev];
+    if (ev == "job_submit") {
+      EXPECT_TRUE(f.contains("job") && f.contains("app") && f.contains("nodes") &&
+                  f.contains("walltime_est_s"))
+          << line;
+    } else if (ev == "job_start") {
+      EXPECT_TRUE(f.contains("job") && f.contains("wait_s") && f.contains("backfilled")) << line;
+    } else if (ev == "job_end") {
+      EXPECT_TRUE(f.contains("job") && f.contains("runtime_s") && f.contains("slowdown") &&
+                  f.contains("skips"))
+          << line;
+    } else if (ev == "alg2_skip") {
+      EXPECT_TRUE(f.contains("job") && f.contains("prediction") && f.contains("skip_count") &&
+                  f.contains("skip_threshold"))
+          << line;
+      EXPECT_EQ(f["prediction"], "variation");
+    } else if (ev == "trial_start" || ev == "trial_end") {
+      EXPECT_TRUE(f.contains("policy") && f.contains("seed")) << line;
+    }
+  }
+  EXPECT_EQ(event_counts["trial_start"], 1);
+  EXPECT_EQ(event_counts["trial_end"], 1);
+  EXPECT_EQ(event_counts["job_submit"], 7);
+  EXPECT_EQ(event_counts["job_start"], 7);
+  EXPECT_EQ(event_counts["job_end"], 7);
+  EXPECT_GE(event_counts["alg2_skip"], 1);
+}
+
+TEST(EventTrace, PredictRecordCarriesHexFeatureHash) {
+  std::ostringstream sink;
+  EventTrace trace(sink);
+  trace.emit_predict(1.5, 42, "no-variation", 0x0123456789abcdefULL);
+  trace.flush();
+  std::map<std::string, std::string> f;
+  const std::string line = lines_of(sink.str()).at(0);
+  JsonReader reader(line);
+  ASSERT_TRUE(reader.parse_top(f));
+  EXPECT_EQ(f["ev"], "predict");
+  EXPECT_EQ(f["label"], "no-variation");
+  EXPECT_EQ(f["feature_hash"], "0123456789abcdef");
+}
+
+TEST(FeatureHash, DeterministicAndSensitive) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.000001};
+  EXPECT_EQ(feature_hash(a), feature_hash(a));
+  EXPECT_NE(feature_hash(a), feature_hash(b));
+  EXPECT_NE(feature_hash({}), feature_hash({0.0}));
+  // -0.0 and 0.0 compare equal; their hashes must too.
+  EXPECT_EQ(feature_hash({-0.0}), feature_hash({0.0}));
+}
+
+TEST(RunManifest, JsonIsValidAndCarriesProvenance) {
+  RunManifest m;
+  m.tool = "test_tool";
+  m.seed = 99;
+  m.trials = 3;
+  m.days = 2;
+  m.trace_path = "/tmp/t.jsonl";
+  m.extra.emplace_back("note", "hello \"world\"");
+  const std::string json = manifest_json(m);
+  std::map<std::string, std::string> f;
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.parse_top(f)) << json;
+  EXPECT_EQ(f["tool"], "test_tool");
+  EXPECT_EQ(f["seed"], "99");
+  EXPECT_TRUE(f.contains("git_sha"));
+  EXPECT_TRUE(f.contains("build_type"));
+  EXPECT_TRUE(f.contains("compiler"));
+  EXPECT_TRUE(f.contains("schema"));
+}
+
+}  // namespace
+}  // namespace rush::obs

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (no network access).
+
+Scans the given markdown files / directories for inline links and
+images (`[text](target)`), and verifies every *local* target:
+
+  * relative file links must resolve to an existing file or directory,
+    relative to the markdown file containing them;
+  * `#anchor` fragments (own-file or `file.md#anchor`) must match a
+    heading in the target file, using GitHub's slug rules (lowercase,
+    spaces to dashes, punctuation dropped);
+  * `http(s)://` and `mailto:` targets are skipped — CI must not depend
+    on external availability.
+
+Exit status is the number of broken links (0 = all good), so the CI
+docs job can run it directly.
+
+Usage:
+  check_md_links.py README.md docs/ DESIGN.md ...
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; skips reference-style definitions, which this
+# repo does not use.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code, lowercase,
+    drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]|\[([^\]]*)\]\([^)]*\)", r"\1", heading).strip()
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def links_of(path: Path):
+    in_fence = False
+    for ln, line in enumerate(
+            path.read_text(encoding="utf-8", errors="replace").splitlines(),
+            start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield ln, m.group(1)
+
+
+def check_file(md: Path, errors: list[str]) -> None:
+    for ln, target in links_of(md):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (md.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{ln}: broken link '{target}' "
+                              f"({resolved} does not exist)")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md
+        if anchor:
+            if anchor_file.is_dir() or anchor_file.suffix.lower() != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if anchor.lower() not in headings_of(anchor_file):
+                errors.append(f"{md}:{ln}: anchor '#{anchor}' not found "
+                              f"in {anchor_file.name}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    files: list[Path] = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.suffix.lower() == ".md" and p.exists():
+            files.append(p)
+        else:
+            print(f"error: {p} is not a markdown file or directory",
+                  file=sys.stderr)
+            return 2
+    errors: list[str] = []
+    for md in files:
+        check_file(md, errors)
+    for e in errors:
+        print(e)
+    print(f"check_md_links: {len(files)} file(s), {len(errors)} broken link(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,6 +13,12 @@ unordered-iter   (sim/, sched/, core/ only) range-for over a
                  and these subsystems feed ordered, deterministic output.
 missing-expects  (sim/, sched/ only) public non-const member functions
                  that take arguments must validate them with RUSH_EXPECTS.
+trace-sim-time   every obs::EventTrace emit_* call site must pass the
+                 current *simulated* time as its first argument (an
+                 engine now() call or a *_s sim-time variable) — never a
+                 wall-clock expression. Trace records stamped with wall
+                 time would break replay determinism and the monotonicity
+                 checks in tools/trace_report.py.
 
 Suppression: append `// rush-lint: allow(<rule>) <reason>` to the
 offending line, or place it on the line directly above. A reason is
@@ -40,6 +46,8 @@ UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
 RANGE_FOR_RE = re.compile(
     r"\bfor\s*\([^;()]*?:\s*\*?(?:this->)?([\w.>-]+)\s*\)")
+EMIT_CALL_RE = re.compile(r"(?:\.|->)\s*emit_\w+\s*\(")
+SIM_TIME_ARG_RE = re.compile(r"now\s*\(\s*\)|\b[A-Za-z_]\w*_s_?\b|^\s*(?:t|when)\s*$")
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
 CLASS_RE = re.compile(r"^\s*(?:template\s*<[^<>]*>\s*)?(class|struct)\s+(\w+)")
 DECLARATOR_RE = re.compile(
@@ -133,6 +141,41 @@ def check_pattern_rule(unit: FileUnit, regex: re.Pattern, rule: str,
     for ln, line in enumerate(unit.clean_lines, start=1):
         if regex.search(line) and not unit.is_allowed(ln, rule):
             findings.append(Finding(unit.path, ln, rule, message))
+
+
+def first_argument(text: str, open_paren: int) -> str:
+    """Text of the first argument of the call whose '(' is at open_paren."""
+    depth, i = 0, open_paren
+    while i < len(text):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+        elif c == "," and depth == 1:
+            return text[open_paren + 1:i]
+        i += 1
+    return text[open_paren + 1:]
+
+
+def check_trace_sim_time(unit: FileUnit, findings: list[Finding]) -> None:
+    """EventTrace emit_* call sites must stamp records with simulated time."""
+    if "tests" in unit.path.parts:
+        return  # tests legitimately emit with synthetic timestamps
+    for m in EMIT_CALL_RE.finditer(unit.clean):
+        arg = first_argument(unit.clean, m.end() - 1)
+        ln = line_of_offset(unit.clean, m.start())
+        if SIM_TIME_ARG_RE.search(arg):
+            continue
+        if unit.is_allowed(ln, "trace-sim-time"):
+            continue
+        findings.append(Finding(
+            unit.path, ln, "trace-sim-time",
+            "emit_* must receive the current simulated time as its first "
+            "argument (an engine now() call or a *_s variable); "
+            f"got '{arg.strip()[:60]}'"))
 
 
 def check_unordered_iter(unit: FileUnit, units_in_dir: list[FileUnit],
@@ -329,6 +372,7 @@ def lint_files(paths: list[Path]) -> list[Finding]:
         check_pattern_rule(
             unit, CONST_CAST_RE, "const-cast",
             "const_cast is banned; restructure ownership instead", findings)
+        check_trace_sim_time(unit, findings)
         if sub in UNORDERED_SCOPE:
             check_unordered_iter(unit, by_dir[f.parent], findings)
         if sub in EXPECTS_SCOPE:
@@ -372,6 +416,13 @@ SELF_TEST_CASES = {
           double limit_ = 0.0;
         };
         """),
+    "trace-sim-time": ("src/core/bad_trace.cpp", """
+        #include <ctime>
+        struct Trace { void emit_job_start(double t, int id); };
+        void log_start(Trace& tr, int id) {
+          tr.emit_job_start(wall_clock_seconds(), id);
+        }
+        """),
 }
 
 CLEAN_CASE = ("src/sched/clean.hpp", """
@@ -395,6 +446,8 @@ CLEAN_CASE = ("src/sched/clean.hpp", """
      private:
       std::unordered_set<int> live_;
     };
+    struct Trace { void emit_added(double t_s, int id); };
+    inline void note(Trace& tr, double now_s) { tr.emit_added(now_s, 3); }
     """)
 
 
