@@ -6,9 +6,12 @@
 // Each variant runs the ADAA workload with paired seeds against the same
 // baseline.
 #include <cstdio>
+#include <iterator>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "common/task_pool.hpp"
 #include "core/report.hpp"
 
 using namespace rush;
@@ -41,19 +44,30 @@ int main(int argc, char** argv) {
       {"skip threshold 30", sched::SkipPlacement::Front, false, 30},
   };
 
-  Table table({"variant", "variation (fcfs)", "variation (rush)", "makespan delta", "skips"});
-  for (const Variant& v : variants) {
+  // Variants fan across the task pool into index-addressed slots; the
+  // table renders serially afterwards, so row order is stable.
+  constexpr std::size_t kVariants = std::size(variants);
+  std::vector<core::ExperimentResult> results(kVariants);
+  std::vector<std::unique_ptr<core::ExperimentRunner>> runners(kVariants);
+  parallel_for_indexed(opts.jobs, kVariants, [&](std::size_t i) {
+    const Variant& v = variants[i];
     core::ExperimentConfig config;
     config.trials_per_policy = opts.trials;
     config.skip_placement = v.placement;
     config.delay_on_little_variation = v.delay_little;
     config.skip_threshold = v.skip_threshold;
-    core::ExperimentRunner runner(corpus, config);
-    const core::ExperimentResult result = runner.run(spec);
+    runners[i] = std::make_unique<core::ExperimentRunner>(corpus, config);
+    results[i] = runners[i]->run(spec);
+  });
+
+  Table table({"variant", "variation (fcfs)", "variation (rush)", "makespan delta", "skips"});
+  for (std::size_t i = 0; i < kVariants; ++i) {
+    const Variant& v = variants[i];
+    const core::ExperimentResult& result = results[i];
 
     const double var_base =
-        core::mean_total_variation_runs(result.baseline, runner.labeler());
-    const double var_rush = core::mean_total_variation_runs(result.rush, runner.labeler());
+        core::mean_total_variation_runs(result.baseline, runners[i]->labeler());
+    const double var_rush = core::mean_total_variation_runs(result.rush, runners[i]->labeler());
     double skips = 0.0;
     for (const auto& trial : result.rush) skips += static_cast<double>(trial.total_skips);
     skips /= static_cast<double>(result.rush.size());

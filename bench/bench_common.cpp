@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/task_pool.hpp"
 #include "obs/manifest.hpp"
 
 namespace rush::bench {
@@ -23,15 +24,24 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.trials = static_cast<int>(next_int(5));
     } else if (std::strcmp(arg, "--days") == 0) {
       opts.days = static_cast<int>(next_int(16));
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      opts.jobs = static_cast<int>(next_int(0));
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      opts.shards = static_cast<int>(next_int(1));
     } else if (std::strcmp(arg, "--fresh") == 0) {
       opts.fresh = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       if (i + 1 < argc) opts.trace_path = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("options: --seed N --trials N --days N --fresh --trace PATH\n");
+      std::printf(
+          "options: --seed N --trials N --days N --jobs N --shards N --fresh --trace PATH\n");
       std::exit(0);
     }
   }
+  // --jobs N sizes the shared pool for the whole process (trials, corpus
+  // shards, and the ML layer all draw from it); 0 keeps the default
+  // ($RUSH_JOBS, else hardware concurrency).
+  if (opts.jobs > 0) set_shared_jobs(opts.jobs);
   return opts;
 }
 
@@ -60,9 +70,13 @@ core::Corpus main_corpus(const BenchOptions& opts) {
   core::CollectorConfig cfg;
   cfg.days = opts.days;
   cfg.seed = opts.seed;
+  cfg.shards = opts.shards;
   core::LongitudinalCollector collector(cfg, core::single_pod_config());
+  // The shard count shapes the corpus, so sharded campaigns cache under
+  // their own tag; shards=1 keeps the legacy cache name and bytes.
+  const std::string shard_tag = opts.shards > 1 ? "_p" + std::to_string(opts.shards) : "";
   const auto cache = core::default_corpus_cache("main_d" + std::to_string(opts.days) + "_s" +
-                                                std::to_string(opts.seed));
+                                                std::to_string(opts.seed) + shard_tag);
   if (opts.fresh) std::filesystem::remove(cache);
   std::printf("[bench] corpus: %s\n", cache.string().c_str());
   core::Corpus corpus = collector.collect_or_load(cache);
@@ -97,13 +111,29 @@ core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunn
   return core::run_or_load_experiment(runner, spec, cache);
 }
 
+std::vector<core::ExperimentResult> experiments(const BenchOptions& opts,
+                                                core::ExperimentRunner& runner,
+                                                const std::vector<core::ExperimentId>& ids) {
+  std::vector<core::ExperimentResult> results(ids.size());
+  if (!opts.trace_path.empty()) {
+    // A live trace must receive experiments in a fixed order; each
+    // experiment still fans its own trials across the pool.
+    for (std::size_t i = 0; i < ids.size(); ++i) results[i] = experiment(opts, runner, ids[i]);
+    return results;
+  }
+  parallel_for_indexed(opts.jobs, ids.size(),
+                       [&](std::size_t i) { results[i] = experiment(opts, runner, ids[i]); });
+  return results;
+}
+
 void print_banner(const std::string& artifact, const std::string& description,
                   const BenchOptions& opts) {
   std::printf("================================================================\n");
   std::printf("RUSH reproduction — %s\n", artifact.c_str());
   std::printf("%s\n", description.c_str());
-  std::printf("seed=%llu trials/policy=%d collection-days=%d\n",
-              static_cast<unsigned long long>(opts.seed), opts.trials, opts.days);
+  std::printf("seed=%llu trials/policy=%d collection-days=%d jobs=%d shards=%d\n",
+              static_cast<unsigned long long>(opts.seed), opts.trials, opts.days,
+              opts.jobs > 0 ? opts.jobs : TaskPool::default_jobs(), opts.shards);
   std::printf("================================================================\n");
 }
 

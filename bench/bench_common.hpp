@@ -4,6 +4,10 @@
 //   --seed N      master seed (default 42)
 //   --trials N    trials per policy (default 5, as in the paper)
 //   --days N      collection campaign length (default 16)
+//   --jobs N      task-pool width for trials/experiments/ML (default:
+//                 $RUSH_JOBS, else hardware concurrency)
+//   --shards N    collection campaign shards (default 1 = the legacy
+//                 single-environment campaign; >1 changes the corpus)
 //   --fresh       ignore caches and recompute everything
 //   --trace PATH  write a JSONL event trace (docs/trace-format.md) plus
 //                 PATH.manifest.json / PATH.metrics.json; implies fresh
@@ -13,8 +17,10 @@
 // campaign and one run of each Table II experiment.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/collector.hpp"
 #include "core/experiment.hpp"
@@ -29,6 +35,12 @@ struct BenchOptions {
   int trials = 5;
   int days = 16;
   bool fresh = false;
+  /// Task-pool width: 0 = shared-pool default ($RUSH_JOBS, else hardware
+  /// concurrency); 1 = serial; N > 1 sizes the shared pool to N.
+  int jobs = 0;
+  /// Collection campaign shards (>1 redefines the corpus; see
+  /// CollectorConfig::shards).
+  int shards = 1;
   /// Empty disables tracing.
   std::string trace_path;
 };
@@ -73,6 +85,14 @@ core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus
 /// Run (or load from cache) one Table II experiment.
 core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunner& runner,
                                   core::ExperimentId id);
+
+/// Run (or load) several Table II experiments, fanned across the task
+/// pool; results land in id order. Falls back to one-at-a-time when a
+/// trace is active (the shared trace must stay in deterministic order)
+/// — each experiment still parallelizes its own trials internally.
+std::vector<core::ExperimentResult> experiments(const BenchOptions& opts,
+                                                core::ExperimentRunner& runner,
+                                                const std::vector<core::ExperimentId>& ids);
 
 /// Header line naming the bench and the paper artifact it regenerates.
 void print_banner(const std::string& artifact, const std::string& description,

@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
 
   core::ExperimentRunner runner = bench::make_runner(opts, bench::main_corpus(opts));
 
+  const std::vector<core::ExperimentId> ids{core::ExperimentId::ADAA, core::ExperimentId::ADPA,
+                                            core::ExperimentId::PDPA, core::ExperimentId::WS,
+                                            core::ExperimentId::SS};
+  const auto results = bench::experiments(opts, runner, ids);
+
   Table table({"experiment", "fcfs-easy", "rush", "delta", "delta %"});
-  for (const auto id : {core::ExperimentId::ADAA, core::ExperimentId::ADPA,
-                        core::ExperimentId::PDPA, core::ExperimentId::WS,
-                        core::ExperimentId::SS}) {
-    const auto result = bench::experiment(opts, runner, id);
+  for (const auto& result : results) {
     const double base = core::mean_makespan(result.baseline);
     const double rush = core::mean_makespan(result.rush);
     table.add_row({result.spec.code, str::format_duration(base), str::format_duration(rush),

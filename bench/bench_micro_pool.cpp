@@ -1,0 +1,100 @@
+// Micro-benchmarks of the task pool: dispatch overhead for the batch
+// shapes this repo actually fans out (a handful of heavy bodies), and
+// parallel_for scaling at 1/2/4 workers over a fixed amount of work.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/task_pool.hpp"
+
+namespace {
+
+using namespace rush;
+
+/// A deterministic spin of `iters` multiply-xor rounds standing in for a
+/// trial/tree-fit body; returns a value so the work cannot be elided.
+std::uint64_t burn(std::uint64_t seed, std::size_t iters) {
+  std::uint64_t h = seed | 1;
+  for (std::size_t i = 0; i < iters; ++i) h = (h * 0x9e3779b97f4a7c15ULL) ^ (h >> 29);
+  return h;
+}
+
+/// Pure dispatch overhead: empty-ish bodies, so the cost measured is
+/// queueing, claiming, and the completion wait.
+void BM_PoolDispatchOverhead(benchmark::State& state) {
+  TaskPool pool(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> out(n, 0);
+  for (auto _ : state) {
+    pool.parallel_for_indexed(n, [&](std::size_t i) { out[i] = i; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PoolDispatchOverhead)
+    ->Args({1, 10})
+    ->Args({4, 10})
+    ->Args({4, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Fixed total work split over 10 tasks (the 2 x 5-trial experiment
+/// shape), at pool widths 1/2/4. On a multi-core host ns_per_op should
+/// fall roughly linearly with width; bench_baseline.py derives
+/// trial_parallel_speedup from the 1-vs-4 ratio.
+void BM_PoolScaling(benchmark::State& state) {
+  TaskPool pool(static_cast<int>(state.range(0)));
+  constexpr std::size_t kTasks = 10;
+  constexpr std::size_t kItersPerTask = 400'000;
+  std::vector<std::uint64_t> out(kTasks, 0);
+  for (auto _ : state) {
+    pool.parallel_for_indexed(kTasks, [&](std::size_t i) { out[i] = burn(i + 1, kItersPerTask); });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PoolScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The serial inline path (jobs == 1) against a hand-rolled loop — the
+/// pool must cost nothing when parallelism is off.
+void BM_PoolSerialInlineVsRawLoop(benchmark::State& state) {
+  const bool use_pool = state.range(0) != 0;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kItersPerTask = 2'000;
+  std::vector<std::uint64_t> out(kTasks, 0);
+  TaskPool pool(1);
+  for (auto _ : state) {
+    if (use_pool) {
+      pool.parallel_for_indexed(kTasks,
+                                [&](std::size_t i) { out[i] = burn(i + 1, kItersPerTask); });
+    } else {
+      for (std::size_t i = 0; i < kTasks; ++i) out[i] = burn(i + 1, kItersPerTask);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PoolSerialInlineVsRawLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Nested dispatch (experiment -> trial -> forest fit shape): the inner
+/// dispatches run inline on workers, so this measures that the nesting
+/// guard adds no queue traffic.
+void BM_PoolNestedDispatch(benchmark::State& state) {
+  TaskPool pool(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::uint64_t> out(kOuter * kInner, 0);
+  for (auto _ : state) {
+    pool.parallel_for_indexed(kOuter, [&](std::size_t o) {
+      pool.parallel_for_indexed(
+          kInner, [&](std::size_t i) { out[o * kInner + i] = burn(o * kInner + i + 1, 500); });
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PoolNestedDispatch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/task_pool.hpp"
 
 namespace rush::core {
 
@@ -16,13 +19,39 @@ LongitudinalCollector::LongitudinalCollector(CollectorConfig config, Environment
   RUSH_EXPECTS(config_.jobs_per_session > 0);
   RUSH_EXPECTS(config_.nodes_per_job > 0);
   RUSH_EXPECTS(config_.session_start_hi_s >= config_.session_start_lo_s);
+  RUSH_EXPECTS(config_.shards >= 1);
   // Tie the environment's stochastic state to the collection seed so the
   // whole campaign is one reproducible unit.
   env_config_.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
 }
 
 Corpus LongitudinalCollector::collect() {
-  Environment env(env_config_);
+  const int shards = std::min(config_.shards, config_.days);
+  if (shards <= 1) return collect_days(0, config_.days, env_config_.seed);
+
+  // Each shard is an independent in-situ campaign over its day slice;
+  // results land by shard index, so the merged corpus is identical for
+  // any worker count — only the shard count shapes the data.
+  std::vector<Corpus> parts(static_cast<std::size_t>(shards));
+  parallel_for_indexed(config_.jobs, static_cast<std::size_t>(shards), [&](std::size_t s) {
+    const int lo = static_cast<int>(static_cast<std::size_t>(config_.days) * s /
+                                    static_cast<std::size_t>(shards));
+    const int hi = static_cast<int>(static_cast<std::size_t>(config_.days) * (s + 1) /
+                                    static_cast<std::size_t>(shards));
+    const std::uint64_t shard_seed = Rng(env_config_.seed).split(0x5A4D + s).next();
+    parts[s] = collect_days(lo, hi, shard_seed);
+  });
+
+  Corpus merged;
+  for (Corpus& part : parts) merged.append(std::move(part));
+  return merged;
+}
+
+Corpus LongitudinalCollector::collect_days(int day_begin, int day_end,
+                                           std::uint64_t env_seed) const {
+  EnvironmentConfig shard_env_config = env_config_;
+  shard_env_config.seed = env_seed;
+  Environment env(shard_env_config);
   auto rng = env.rng_for(0xC011EC7);
 
   std::vector<std::string> app_names = config_.apps;
@@ -32,14 +61,29 @@ Corpus LongitudinalCollector::collect() {
     app_index.emplace(app_names[i], static_cast<int>(i));
 
   const double day = 86400.0;
+  const int shard_days = day_end - day_begin;
   const double campaign_s = static_cast<double>(config_.days) * day;
   if (config_.storm_days > 0.0) {
-    cluster::Storm storm;
-    storm.start = campaign_s * config_.storm_at_fraction;
-    storm.end = storm.start + config_.storm_days * day;
-    storm.net_intensity = config_.storm_net_intensity;
-    storm.io_intensity = config_.storm_io_intensity;
-    env.background().add_storm(storm);
+    // The storm sits on the full-campaign timeline; a shard sees only the
+    // part overlapping its day slice, shifted into shard-local time. The
+    // final slice is open-ended so the full-campaign call (0, days)
+    // reproduces the legacy unclipped storm exactly.
+    const double slice_lo = static_cast<double>(day_begin) * day;
+    const double slice_hi = day_end == config_.days
+                                ? std::numeric_limits<double>::infinity()
+                                : static_cast<double>(day_end) * day;
+    const double global_start = campaign_s * config_.storm_at_fraction;
+    const double global_end = global_start + config_.storm_days * day;
+    const double lo = std::max(global_start, slice_lo);
+    const double hi = std::min(global_end, slice_hi);
+    if (lo < hi) {
+      cluster::Storm storm;
+      storm.start = lo - slice_lo;
+      storm.end = hi - slice_lo;
+      storm.net_intensity = config_.storm_net_intensity;
+      storm.io_intensity = config_.storm_io_intensity;
+      env.background().add_storm(storm);
+    }
   }
   env.background().start();
 
@@ -64,7 +108,7 @@ Corpus LongitudinalCollector::collect() {
   cluster::NodeAllocator allocator(std::move(job_nodes));
 
   Corpus corpus;
-  for (int d = 0; d < config_.days; ++d) {
+  for (int d = 0; d < shard_days; ++d) {
     for (int s = 0; s < config_.sessions_per_day; ++s) {
       const double start =
           static_cast<double>(d) * day +

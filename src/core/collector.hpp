@@ -47,6 +47,17 @@ struct CollectorConfig {
   double storm_net_intensity = 0.25;
   double storm_io_intensity = 0.3;
   std::uint64_t seed = 42;
+  /// Independent campaign shards run concurrently on the task pool: the
+  /// day range splits into `shards` contiguous slices, each profiled on
+  /// its own Environment (own seed stream, storm window clipped to the
+  /// slice), and the per-shard corpora concatenate in shard order. The
+  /// shard count — not the worker count — defines the campaign, so the
+  /// corpus is bit-identical for any `jobs`. shards == 1 is the legacy
+  /// single-environment campaign (cache-compatible with earlier builds).
+  int shards = 1;
+  /// Worker policy for sharded collection (see parallel_for_indexed):
+  /// 1 = serial, 0 = shared pool, N > 1 = dedicated pool.
+  int jobs = 0;
 };
 
 class LongitudinalCollector {
@@ -63,6 +74,10 @@ class LongitudinalCollector {
   [[nodiscard]] Corpus collect_or_load(const std::filesystem::path& cache_path);
 
  private:
+  /// One contiguous slice of the campaign, days [day_begin, day_end), on
+  /// a fresh Environment seeded with `env_seed`.
+  [[nodiscard]] Corpus collect_days(int day_begin, int day_end, std::uint64_t env_seed) const;
+
   CollectorConfig config_;
   EnvironmentConfig env_config_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,12 @@ void Corpus::add(CollectedSample sample) {
   RUSH_EXPECTS(sample.features_job.size() == telemetry::FeatureAssembler::kNumFeatures);
   RUSH_EXPECTS(sample.runtime_s > 0.0);
   samples_.push_back(std::move(sample));
+}
+
+void Corpus::append(Corpus other) {
+  samples_.insert(samples_.end(), std::make_move_iterator(other.samples_.begin()),
+                  std::make_move_iterator(other.samples_.end()));
+  other.samples_.clear();
 }
 
 std::vector<std::string> Corpus::app_names() const {

@@ -39,6 +39,10 @@ class Corpus {
  public:
   void add(CollectedSample sample);
 
+  /// Concatenate another corpus's samples (moved) after this one's — used
+  /// to merge per-shard campaign slices in shard order.
+  void append(Corpus other);
+
   [[nodiscard]] const std::vector<CollectedSample>& samples() const noexcept { return samples_; }
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }

@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 #include "obs/trace.hpp"
 
 namespace rush::core {
@@ -107,6 +109,15 @@ TrainedPredictor ExperimentRunner::train_predictor(const ExperimentSpec& spec) c
 TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rush,
                                         std::uint64_t trial_seed,
                                         const TrainedPredictor* predictor) const {
+  return run_trial_with_sinks(spec, use_rush, trial_seed, predictor, config_.trace,
+                              config_.metrics);
+}
+
+TrialResult ExperimentRunner::run_trial_with_sinks(const ExperimentSpec& spec, bool use_rush,
+                                                   std::uint64_t trial_seed,
+                                                   const TrainedPredictor* predictor,
+                                                   obs::EventTrace* trace,
+                                                   obs::MetricsRegistry* metrics) const {
   RUSH_EXPECTS(!use_rush || (predictor != nullptr && predictor->ready()));
   RUSH_EXPECTS(!spec.run_apps.empty());
   RUSH_EXPECTS(spec.num_jobs > 0);
@@ -127,20 +138,20 @@ TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rus
     if (!std::binary_search(noise_nodes.begin(), noise_nodes.end(), n)) job_nodes.push_back(n);
   cluster::NodeAllocator allocator(std::move(job_nodes));
 
-  env.attach_obs(config_.trace, config_.metrics);
+  env.attach_obs(trace, metrics);
 
   sched::SchedulerConfig sc;
   sc.enable_backfill = true;
   sc.rush_enabled = use_rush;
   sc.delay_on_little_variation = config_.delay_on_little_variation;
   sc.skip_placement = config_.skip_placement;
-  sc.trace = config_.trace;
-  sc.metrics = config_.metrics;
+  sc.trace = trace;
+  sc.metrics = metrics;
 
   std::unique_ptr<RushOracle> oracle;
   if (use_rush) {
     oracle = std::make_unique<RushOracle>(env, *predictor);
-    oracle->set_trace(config_.trace);
+    oracle->set_trace(trace);
   }
 
   SessionConfig session_config;
@@ -178,14 +189,14 @@ TrialResult ExperimentRunner::run_trial(const ExperimentSpec& spec, bool use_rus
   }
 
   const char* policy_name = use_rush ? "rush" : "fcfs-easy";
-  if (config_.trace != nullptr)
-    config_.trace->emit_trial_start(env.engine().now(), policy_name, trial_seed);
+  if (trace != nullptr)
+    trace->emit_trial_start(env.engine().now(), policy_name, trial_seed);
 
   TrialResult result = session.run();
-  if (config_.trace != nullptr)
-    config_.trace->emit_trial_end(env.engine().now(), policy_name, trial_seed,
-                                  session.scheduler().makespan(),
-                                  session.scheduler().total_skips());
+  if (trace != nullptr)
+    trace->emit_trial_end(env.engine().now(), policy_name, trial_seed,
+                          session.scheduler().makespan(),
+                          session.scheduler().total_skips());
   result.policy = policy_name;
   result.seed = trial_seed;
   result.oracle_evaluations = oracle ? oracle->evaluations() : 0;
@@ -199,11 +210,41 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   ExperimentResult result;
   result.spec = spec;
   const TrainedPredictor predictor = train_predictor(spec);
-  for (int t = 0; t < config_.trials_per_policy; ++t) {
-    const std::uint64_t seed = mix_seed(config_.seed, spec, t);
-    result.baseline.push_back(run_trial(spec, /*use_rush=*/false, seed, nullptr));
-    result.rush.push_back(run_trial(spec, /*use_rush=*/true, seed, &predictor));
+
+  // All 2 x trials_per_policy trials are independent — each owns its
+  // Environment, its seed is mixed up front, and the predictor/corpus
+  // are only read — so they fan out across the task pool and land in
+  // index-addressed slots. Task i is trial t = i/2, baseline first
+  // (i even), matching the serial path's ordering exactly.
+  const std::size_t tasks = 2 * static_cast<std::size_t>(config_.trials_per_policy);
+  result.baseline.resize(static_cast<std::size_t>(config_.trials_per_policy));
+  result.rush.resize(static_cast<std::size_t>(config_.trials_per_policy));
+
+  // Concurrent trials must not interleave records in the shared trace:
+  // each gets a buffered child, absorbed below in task order so the
+  // trace bytes match a serial run.
+  const bool tracing = config_.trace != nullptr && config_.trace->enabled();
+  std::vector<std::unique_ptr<obs::EventTrace>> trial_traces;
+  if (tracing) {
+    trial_traces.reserve(tasks);
+    for (std::size_t i = 0; i < tasks; ++i)
+      trial_traces.push_back(std::make_unique<obs::EventTrace>(obs::EventTrace::Buffered{}));
   }
+
+  parallel_for_indexed(config_.jobs, tasks, [&](std::size_t i) {
+    const int t = static_cast<int>(i / 2);
+    const bool use_rush = (i % 2) != 0;
+    const std::uint64_t seed = mix_seed(config_.seed, spec, t);
+    obs::EventTrace* trace = tracing ? trial_traces[i].get() : nullptr;
+    TrialResult trial = run_trial_with_sinks(spec, use_rush, seed,
+                                             use_rush ? &predictor : nullptr, trace,
+                                             config_.metrics);
+    auto& slot = use_rush ? result.rush : result.baseline;
+    slot[static_cast<std::size_t>(t)] = std::move(trial);
+  });
+
+  if (tracing)
+    for (auto& trial_trace : trial_traces) config_.trace->absorb(*trial_trace);
   return result;
 }
 

@@ -68,9 +68,17 @@ struct ExperimentConfig {
   bool record_probe = false;
   /// Hard wall so a bugged trial cannot spin forever.
   double max_sim_s = 6.0 * 3600.0;
+  /// Trial-level parallelism for run(): 1 = strictly serial; 0 = the
+  /// shared task pool (RUSH_JOBS / hardware default); N > 1 = a
+  /// dedicated N-wide pool. Every trial owns its Environment and seeds
+  /// are mixed up front, so results are bit-identical for any value
+  /// (the determinism differential test pins this).
+  int jobs = 0;
   /// Optional observability sinks threaded through every layer of each
   /// trial (environment, scheduler, oracle). Null disables; both must
-  /// outlive the runner.
+  /// outlive the runner. Under jobs != 1 each trial emits into its own
+  /// buffered trace, absorbed into `trace` in deterministic trial order;
+  /// `metrics` is internally synchronized and shared directly.
   obs::EventTrace* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -98,6 +106,14 @@ class ExperimentRunner {
   [[nodiscard]] TrainedPredictor train_predictor(const ExperimentSpec& spec) const;
 
  private:
+  /// run_trial with explicit observability sinks (the parallel path
+  /// hands every trial its own buffered trace instead of config_.trace).
+  [[nodiscard]] TrialResult run_trial_with_sinks(const ExperimentSpec& spec, bool use_rush,
+                                                 std::uint64_t trial_seed,
+                                                 const TrainedPredictor* predictor,
+                                                 obs::EventTrace* trace,
+                                                 obs::MetricsRegistry* metrics) const;
+
   Corpus corpus_;
   ExperimentConfig config_;
   Labeler labeler_;

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 
 namespace rush::ml {
 
@@ -47,8 +48,9 @@ void Forest::fit(const Dataset& data, std::span<const double> sample_weights) {
     trees_.emplace_back(tc);
   }
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+  // Trees are independent and their seeds are fixed above, so they fit
+  // on the shared task pool; each writes only trees_[t].
+  shared_pool().parallel_for_indexed(config_.num_trees, [&](std::size_t t) {
     if (config_.bootstrap) {
       Rng boot_rng(boot_seeds[t]);
       std::vector<std::size_t> sample(data.rows());
@@ -67,7 +69,7 @@ void Forest::fit(const Dataset& data, std::span<const double> sample_weights) {
     } else {
       trees_[t].fit(data, sample_weights);
     }
-  }
+  });
 }
 
 std::vector<double> Forest::predict_proba(std::span<const double> x) const {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/task_pool.hpp"
 
 namespace rush::ml {
 
@@ -71,10 +72,10 @@ CvResult cross_validate(const Classifier& prototype, const Dataset& data,
   CvResult result;
   result.folds.resize(test_folds.size());
 
-  // Folds are independent; fit/score them in parallel. Each iteration
-  // writes only its own slot, and clones/datasets are thread-private.
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t fold = 0; fold < test_folds.size(); ++fold) {
+  // Folds are independent; fit/score them on the shared task pool. Each
+  // iteration writes only its own slot, and clones/datasets are
+  // thread-private.
+  shared_pool().parallel_for_indexed(test_folds.size(), [&](std::size_t fold) {
     const auto& test_rows = test_folds[fold];
     std::vector<bool> in_test(data.rows(), false);
     for (std::size_t r : test_rows) in_test[r] = true;
@@ -107,7 +108,7 @@ CvResult cross_validate(const Classifier& prototype, const Dataset& data,
     scores.macro_f1 = cm.macro_f1();
     scores.test_size = test_rows.size();
     result.folds[fold] = scores;
-  }
+  });
   return result;
 }
 

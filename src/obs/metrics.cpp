@@ -16,6 +16,7 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(h
 
 void Histogram::record(double v) noexcept {
   if (!std::isfinite(v)) return;
+  const std::scoped_lock lock(mu_);
   if (count_ == 0) {
     observed_min_ = v;
     observed_max_ = v;
@@ -37,15 +38,43 @@ void Histogram::record(double v) noexcept {
   ++buckets_[idx];
 }
 
-double Histogram::min() const noexcept { return count_ ? observed_min_ : 0.0; }
-double Histogram::max() const noexcept { return count_ ? observed_max_ : 0.0; }
+std::uint64_t Histogram::count() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return count_ ? observed_min_ : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return count_ ? observed_max_ : 0.0;
+}
 
 double Histogram::mean() const noexcept {
+  const std::scoped_lock lock(mu_);
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  const std::scoped_lock lock(mu_);
+  return buckets_;
 }
 
 double Histogram::percentile(double q) const {
   RUSH_EXPECTS(q >= 0.0 && q <= 1.0);
+  const std::scoped_lock lock(mu_);
+  return percentile_locked(q);
+}
+
+double Histogram::percentile_locked(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return observed_min_;
   if (q >= 1.0) return observed_max_;
@@ -70,12 +99,14 @@ double Histogram::percentile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -83,12 +114,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                       std::size_t buckets) {
+  const std::scoped_lock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(lo, hi, buckets);
   return *slot;
 }
 
 std::string MetricsRegistry::snapshot_json() const {
+  const std::scoped_lock lock(mu_);
   std::string out;
   JsonWriter w(out);
   w.begin_object();

@@ -2,19 +2,28 @@
 //
 // Call sites resolve their instrument once (a stable pointer into the
 // registry) and then update it with a plain member call — an increment is
-// one branch-free add, cheap enough for the network-probe and event-loop
-// hot paths. A snapshot renders every instrument into one deterministic
-// JSON object (keys sorted), which the bench harness writes alongside its
-// trace output.
+// one relaxed atomic add, cheap enough for the network-probe and
+// event-loop hot paths. A snapshot renders every instrument into one
+// deterministic JSON object (keys sorted), which the bench harness writes
+// alongside its trace output.
+//
+// Thread-safety: one registry is shared by every trial the task pool runs
+// concurrently (see DESIGN.md §10). Counters and gauges are atomics;
+// histograms serialize record() behind a small internal mutex; name
+// lookup locks the registry map. Counter totals and histogram
+// counts/buckets are order-independent, so they stay bit-identical for
+// any worker count; a histogram's floating-point `sum` (and thus `mean`)
+// can differ in final ulps under concurrency because addition order
+// varies, and a gauge holds whichever trial wrote it last.
 //
 // Instruments are intentionally simple: no tags, no wall-clock windows.
-// The simulator is single-threaded, so there is no atomics overhead
-// either.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,33 +31,35 @@ namespace rush::obs {
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed uniform-bucket histogram over [lo, hi) with underflow/overflow
-/// buckets. Records are O(1); percentile() interpolates linearly inside
-/// the containing bucket, which is exact for uniform data and within one
-/// bucket width otherwise.
+/// buckets. Records are O(1) behind an internal mutex; percentile()
+/// interpolates linearly inside the containing bucket, which is exact for
+/// uniform data and within one bucket width otherwise.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
   void record(double v) noexcept;
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
   [[nodiscard]] double mean() const noexcept;
@@ -60,15 +71,18 @@ class Histogram {
 
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
-  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+  /// Copy, so readers never observe a half-updated bucket array.
+  [[nodiscard]] std::vector<std::uint64_t> buckets() const;
 
  private:
   [[nodiscard]] double bucket_width() const noexcept {
     return (hi_ - lo_) / static_cast<double>(buckets_.size() - 2);
   }
+  [[nodiscard]] double percentile_locked(double q) const;
 
   double lo_;
   double hi_;
+  mutable std::mutex mu_;
   // buckets_[0] = underflow, buckets_[n-1] = overflow.
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
@@ -79,7 +93,8 @@ class Histogram {
 
 /// Named instrument registry. Lookup by name creates on first use and
 /// returns a reference that stays valid for the registry's lifetime, so
-/// hot paths resolve once and cache the pointer.
+/// hot paths resolve once and cache the pointer. Lookups and snapshots
+/// are internally synchronized; concurrent trials share one registry.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -98,6 +113,7 @@ class MetricsRegistry {
   [[nodiscard]] std::string snapshot_json() const;
 
  private:
+  mutable std::mutex mu_;
   // std::map: snapshot output must be deterministically ordered.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -17,11 +17,16 @@ EventTrace::EventTrace(const std::string& path) {
   auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
   if (!file->is_open()) throw ParseError("EventTrace: cannot open " + path);
   sink_ = file.release();
+  enabled_ = true;
   owns_sink_ = true;
   buffer_.reserve(kFlushThreshold);
 }
 
-EventTrace::EventTrace(std::ostream& os) : sink_(&os) { buffer_.reserve(kFlushThreshold); }
+EventTrace::EventTrace(std::ostream& os) : sink_(&os), enabled_(true) {
+  buffer_.reserve(kFlushThreshold);
+}
+
+EventTrace::EventTrace(Buffered) : enabled_(true) { buffer_.reserve(kFlushThreshold); }
 
 EventTrace::~EventTrace() {
   flush();
@@ -34,6 +39,40 @@ void EventTrace::flush() {
   sink_->flush();
   bytes_flushed_ += buffer_.size();
   buffer_.clear();
+}
+
+void EventTrace::absorb(EventTrace& child) {
+  const std::scoped_lock lock(absorb_mu_);
+  if (!enabled_ || !child.enabled_ || child.buffer_.empty()) {
+    child.buffer_.clear();
+    child.seq_ = 0;
+    return;
+  }
+  // Child records carry their own 0-based "seq"; splice them in line by
+  // line, rewriting each seq to continue this trace's sequence. The
+  // format is ours ({"v":..,"seq":<digits>,...), so a bounded scan for
+  // the key is exact, not heuristic.
+  constexpr std::string_view kSeqKey = "\"seq\":";
+  std::size_t pos = 0;
+  while (pos < child.buffer_.size()) {
+    std::size_t eol = child.buffer_.find('\n', pos);
+    if (eol == std::string::npos) eol = child.buffer_.size();
+    const std::string_view line(child.buffer_.data() + pos, eol - pos);
+    const std::size_t key = line.find(kSeqKey);
+    RUSH_ASSERT(key != std::string_view::npos);
+    std::size_t digits_end = key + kSeqKey.size();
+    while (digits_end < line.size() && line[digits_end] >= '0' && line[digits_end] <= '9')
+      ++digits_end;
+    buffer_.append(line.substr(0, key + kSeqKey.size()));
+    buffer_ += std::to_string(seq_);
+    buffer_.append(line.substr(digits_end));
+    buffer_.push_back('\n');
+    ++seq_;
+    if (buffer_.size() >= kFlushThreshold) flush();
+    pos = eol + 1;
+  }
+  child.buffer_.clear();
+  child.seq_ = 0;
 }
 
 void EventTrace::begin_record(double t_s, std::string_view event) {
@@ -54,7 +93,7 @@ void EventTrace::end_record() {
 }
 
 void EventTrace::emit_trial_start(double t_s, std::string_view policy, std::uint64_t seed) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "trial_start");
   buffer_ += ",\"policy\":";
   append_escaped(buffer_, policy);
@@ -64,7 +103,7 @@ void EventTrace::emit_trial_start(double t_s, std::string_view policy, std::uint
 
 void EventTrace::emit_trial_end(double t_s, std::string_view policy, std::uint64_t seed,
                                 double makespan_s, std::uint64_t total_skips) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "trial_end");
   buffer_ += ",\"policy\":";
   append_escaped(buffer_, policy);
@@ -77,7 +116,7 @@ void EventTrace::emit_trial_end(double t_s, std::string_view policy, std::uint64
 
 void EventTrace::emit_job_submit(double t_s, std::uint64_t job_id, std::string_view app,
                                  int num_nodes, double walltime_estimate_s) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "job_submit");
   buffer_ += ",\"job\":" + std::to_string(job_id);
   buffer_ += ",\"app\":";
@@ -90,7 +129,7 @@ void EventTrace::emit_job_submit(double t_s, std::uint64_t job_id, std::string_v
 
 void EventTrace::emit_job_start(double t_s, std::uint64_t job_id, double wait_s, bool backfilled,
                                 const std::vector<int>& nodes) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "job_start");
   buffer_ += ",\"job\":" + std::to_string(job_id);
   buffer_ += ",\"wait_s\":";
@@ -108,7 +147,7 @@ void EventTrace::emit_job_start(double t_s, std::uint64_t job_id, double wait_s,
 
 void EventTrace::emit_job_end(double t_s, std::uint64_t job_id, double runtime_s, double slowdown,
                               int skips) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "job_end");
   buffer_ += ",\"job\":" + std::to_string(job_id);
   buffer_ += ",\"runtime_s\":";
@@ -121,7 +160,7 @@ void EventTrace::emit_job_end(double t_s, std::uint64_t job_id, double runtime_s
 
 void EventTrace::emit_alloc_decision(double t_s, std::uint64_t head_job_id, double reservation_s,
                                      const std::vector<CandidateScore>& scores) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "alloc_decision");
   buffer_ += ",\"head_job\":" + std::to_string(head_job_id);
   buffer_ += ",\"reservation_s\":";
@@ -139,7 +178,7 @@ void EventTrace::emit_alloc_decision(double t_s, std::uint64_t head_job_id, doub
 
 void EventTrace::emit_alg2_skip(double t_s, std::uint64_t job_id, std::string_view prediction,
                                 int skip_count, int skip_threshold) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "alg2_skip");
   buffer_ += ",\"job\":" + std::to_string(job_id);
   buffer_ += ",\"prediction\":";
@@ -151,7 +190,7 @@ void EventTrace::emit_alg2_skip(double t_s, std::uint64_t job_id, std::string_vi
 
 void EventTrace::emit_predict(double t_s, std::uint64_t job_id, std::string_view label,
                               std::uint64_t feature_hash) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "predict");
   buffer_ += ",\"job\":" + std::to_string(job_id);
   buffer_ += ",\"label\":";
@@ -168,7 +207,7 @@ void EventTrace::emit_predict(double t_s, std::uint64_t job_id, std::string_view
 
 void EventTrace::emit_congestion_episode(double t_s, double start_s, int link_id,
                                          double peak_utilization) {
-  if (!sink_) return;
+  if (!enabled_) return;
   begin_record(t_s, "congestion");
   buffer_ += ",\"start_s\":";
   append_double(buffer_, start_s);

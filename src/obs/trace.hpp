@@ -14,9 +14,17 @@
 // mode"), so call sites can hold an always-valid pointer without
 // guarding. Enabled traces buffer into an internal string and flush to
 // the sink on destruction or flush().
+//
+// Concurrency: a single EventTrace is NOT safe to emit into from two
+// threads. When trials run concurrently on the task pool, each gets its
+// own buffered child (EventTrace{EventTrace::Buffered{}}) and the parent
+// absorb()s the children in deterministic trial order afterwards, so a
+// --trace run produces the same byte stream for any worker count (see
+// DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -36,6 +44,9 @@ class EventTrace {
   /// docs/trace-format.md for the versioning policy.
   static constexpr int kSchemaVersion = 1;
 
+  /// Tag selecting the sink-less buffered mode (see the Buffered ctor).
+  struct Buffered {};
+
   /// Disabled trace: every emit is a no-op, zero bytes are written.
   EventTrace() = default;
   /// Enabled trace appending to `path` (truncates an existing file).
@@ -43,12 +54,16 @@ class EventTrace {
   explicit EventTrace(const std::string& path);
   /// Enabled trace writing to a caller-owned stream (tests, stdout).
   explicit EventTrace(std::ostream& os);
+  /// Enabled trace with no sink: records accumulate in memory (flush()
+  /// is a no-op) until a parent trace absorb()s them. The per-trial
+  /// buffer the parallel experiment runner hands to each trial.
+  explicit EventTrace(Buffered);
   ~EventTrace();
 
   EventTrace(const EventTrace&) = delete;
   EventTrace& operator=(const EventTrace&) = delete;
 
-  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   /// Total bytes handed to the sink plus bytes still buffered. Stays 0
   /// for a disabled trace however many emits happen.
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
@@ -57,6 +72,15 @@ class EventTrace {
   [[nodiscard]] std::uint64_t records_emitted() const noexcept { return seq_; }
 
   void flush();
+
+  /// Append every record buffered in `child` to this trace, renumbering
+  /// the records' "seq" fields to continue this trace's sequence, then
+  /// reset `child` for reuse. The child must be a Buffered trace that
+  /// no other thread is still emitting into. Absorbing the same children
+  /// in the same order yields byte-identical output regardless of how
+  /// many threads produced them. Guarded by an internal mutex against
+  /// concurrent absorb() calls; direct emits must not race with absorbs.
+  void absorb(EventTrace& child);
 
   // Every emit_* takes the current simulated time `t_s` as its first
   // argument. Records carry {"v","seq","t","ev"} plus the listed fields.
@@ -103,8 +127,10 @@ class EventTrace {
   void begin_record(double t_s, std::string_view event);
   void end_record();
 
-  std::ostream* sink_ = nullptr;  // null = disabled
+  std::ostream* sink_ = nullptr;  // null = disabled or buffered
+  bool enabled_ = false;
   bool owns_sink_ = false;
+  std::mutex absorb_mu_;
   std::string buffer_;
   std::uint64_t seq_ = 0;
   std::uint64_t bytes_flushed_ = 0;

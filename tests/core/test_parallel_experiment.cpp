@@ -1,0 +1,201 @@
+// Determinism and isolation of the parallel trial path: the task pool
+// must be a pure wall-clock optimization — every observable (TrialResult
+// vectors, event-trace bytes, corpus contents) is required to be
+// identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/collector.hpp"
+#include "core/experiment.hpp"
+#include "obs/trace.hpp"
+
+namespace rush::core {
+namespace {
+
+constexpr std::size_t kF = telemetry::FeatureAssembler::kNumFeatures;
+
+/// Small synthetic corpus over the real seven proxy apps (the
+/// test_experiment.cpp pattern) so trials run without a collection
+/// campaign.
+Corpus synthetic_corpus(std::uint64_t seed) {
+  Rng rng(seed);
+  Corpus c;
+  const auto names = apps::proxy_app_names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const auto app = *apps::find_app(names[a]);
+    for (int i = 0; i < 60; ++i) {
+      CollectedSample s;
+      s.app = names[a];
+      s.app_index = static_cast<int>(a);
+      s.workload = app.workload;
+      s.node_count = 16;
+      const double congestion =
+          rng.bernoulli(0.15) ? rng.uniform(0.5, 1.0) : rng.uniform(0.0, 0.25);
+      s.runtime_s = app.base_runtime_s * (1.0 + 0.5 * congestion) +
+                    rng.normal(0.0, app.base_runtime_s * 0.01);
+      s.features_all.assign(kF, 0.0);
+      s.features_job.assign(kF, 0.0);
+      s.features_all[0] = congestion;
+      s.features_job[0] = congestion;
+      c.add(std::move(s));
+    }
+  }
+  return c;
+}
+
+void expect_trials_identical(const std::vector<TrialResult>& a,
+                             const std::vector<TrialResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    EXPECT_EQ(a[t].policy, b[t].policy);
+    EXPECT_EQ(a[t].seed, b[t].seed);
+    EXPECT_EQ(a[t].makespan_s, b[t].makespan_s);  // bit-identical, not just close
+    EXPECT_EQ(a[t].total_skips, b[t].total_skips);
+    EXPECT_EQ(a[t].oracle_evaluations, b[t].oracle_evaluations);
+    ASSERT_EQ(a[t].jobs.size(), b[t].jobs.size());
+    for (std::size_t j = 0; j < a[t].jobs.size(); ++j) {
+      const JobOutcome& ja = a[t].jobs[j];
+      const JobOutcome& jb = b[t].jobs[j];
+      EXPECT_EQ(ja.app, jb.app);
+      EXPECT_EQ(ja.node_count, jb.node_count);
+      EXPECT_EQ(ja.submit_s, jb.submit_s);
+      EXPECT_EQ(ja.wait_s, jb.wait_s);
+      EXPECT_EQ(ja.runtime_s, jb.runtime_s);
+      EXPECT_EQ(ja.slowdown, jb.slowdown);
+      EXPECT_EQ(ja.submitted_at_start, jb.submitted_at_start);
+      EXPECT_EQ(ja.backfilled, jb.backfilled);
+      EXPECT_EQ(ja.skips, jb.skips);
+    }
+  }
+}
+
+ExperimentSpec tiny_adaa() {
+  ExperimentSpec spec = experiment_spec(ExperimentId::ADAA);
+  spec.num_jobs = 21;  // keep the differential quick
+  return spec;
+}
+
+TEST(ParallelExperiment, SerialAndParallelRunsAreBitIdentical) {
+  const Corpus corpus = synthetic_corpus(11);
+  const ExperimentSpec spec = tiny_adaa();
+
+  ExperimentConfig serial_config;
+  serial_config.trials_per_policy = 2;
+  serial_config.jobs = 1;
+  ExperimentRunner serial_runner(corpus, serial_config);
+  const ExperimentResult serial = serial_runner.run(spec);
+
+  ExperimentConfig parallel_config = serial_config;
+  parallel_config.jobs = 4;  // dedicated 4-wide pool, real threads
+  ExperimentRunner parallel_runner(corpus, parallel_config);
+  const ExperimentResult parallel = parallel_runner.run(spec);
+
+  expect_trials_identical(serial.baseline, parallel.baseline);
+  expect_trials_identical(serial.rush, parallel.rush);
+}
+
+TEST(ParallelExperiment, TraceBytesAreIdenticalAcrossWorkerCounts) {
+  const Corpus corpus = synthetic_corpus(12);
+  const ExperimentSpec spec = tiny_adaa();
+
+  auto traced_run = [&](int jobs) {
+    std::ostringstream sink;
+    obs::EventTrace trace(sink);
+    ExperimentConfig config;
+    config.trials_per_policy = 2;
+    config.jobs = jobs;
+    config.trace = &trace;
+    ExperimentRunner runner(corpus, config);
+    (void)runner.run(spec);
+    trace.flush();
+    return sink.str();
+  };
+
+  const std::string serial_trace = traced_run(1);
+  const std::string parallel_trace = traced_run(4);
+  EXPECT_FALSE(serial_trace.empty());
+  EXPECT_EQ(serial_trace, parallel_trace);
+}
+
+TEST(ParallelExperiment, EnvironmentsStayIsolatedAcrossConcurrentTrials) {
+  // Regression guard for cross-trial shared mutable state: a trial run
+  // alone must equal the same trial run while three others execute
+  // concurrently on the same runner. Any leakage through a shared cache
+  // or static would perturb at least one observable.
+  const Corpus corpus = synthetic_corpus(13);
+  const ExperimentSpec spec = tiny_adaa();
+
+  ExperimentConfig lone_config;
+  lone_config.trials_per_policy = 1;
+  lone_config.jobs = 1;
+  ExperimentRunner lone_runner(corpus, lone_config);
+  const ExperimentResult lone = lone_runner.run(spec);
+
+  ExperimentConfig crowd_config;
+  crowd_config.trials_per_policy = 2;  // 4 concurrent trials
+  crowd_config.jobs = 4;
+  ExperimentRunner crowd_runner(corpus, crowd_config);
+  const ExperimentResult crowd = crowd_runner.run(spec);
+
+  // Trial 0 shares its seed between the two runs (mix_seed depends only
+  // on the workload and trial index).
+  expect_trials_identical(lone.baseline, {crowd.baseline[0]});
+  expect_trials_identical(lone.rush, {crowd.rush[0]});
+}
+
+TEST(ParallelCollector, ShardedCampaignIsWorkerCountInvariant) {
+  CollectorConfig cfg;
+  cfg.days = 2;
+  cfg.sessions_per_day = 1;
+  cfg.jobs_per_session = 28;
+  cfg.shards = 2;
+
+  cfg.jobs = 1;
+  LongitudinalCollector serial(cfg, single_pod_config());
+  const Corpus a = serial.collect();
+
+  cfg.jobs = 4;
+  LongitudinalCollector parallel(cfg, single_pod_config());
+  const Corpus b = parallel.collect();
+
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("sample " + std::to_string(i));
+    const CollectedSample& sa = a.samples()[i];
+    const CollectedSample& sb = b.samples()[i];
+    EXPECT_EQ(sa.app, sb.app);
+    EXPECT_EQ(sa.start_s, sb.start_s);
+    EXPECT_EQ(sa.runtime_s, sb.runtime_s);
+    EXPECT_EQ(sa.features_all, sb.features_all);
+    EXPECT_EQ(sa.features_job, sb.features_job);
+  }
+}
+
+TEST(ParallelCollector, SingleShardMatchesLegacySerialCampaign) {
+  // shards == 1 must stay byte-compatible with the legacy path no matter
+  // the worker policy (there is nothing to fan out).
+  CollectorConfig cfg;
+  cfg.days = 1;
+  cfg.sessions_per_day = 1;
+  cfg.jobs_per_session = 21;
+
+  cfg.jobs = 1;
+  LongitudinalCollector serial(cfg, single_pod_config());
+  std::ostringstream serial_csv;
+  serial.collect().to_csv(serial_csv);
+
+  cfg.jobs = 4;
+  LongitudinalCollector parallel(cfg, single_pod_config());
+  std::ostringstream parallel_csv;
+  parallel.collect().to_csv(parallel_csv);
+
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+}  // namespace
+}  // namespace rush::core

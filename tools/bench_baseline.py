@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Perf-baseline harness: run the micro-benchmarks, write BENCH_micro.json.
 
-Runs the google-benchmark binaries (bench_micro_network and
-bench_micro_telemetry by default) from a release build tree and distills
+Runs the google-benchmark binaries (bench_micro_network,
+bench_micro_telemetry, and bench_micro_pool by default) from a release
+build tree and distills
 their JSON output into one machine-readable file at the repo root:
 
     {
@@ -33,17 +34,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BENCHES = ["bench_micro_network", "bench_micro_telemetry"]
+DEFAULT_BENCHES = ["bench_micro_network", "bench_micro_telemetry", "bench_micro_pool"]
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 SPEEDUP_NUMERATOR = "bench_micro_network/BM_NetworkChurnFullRebuild"
 SPEEDUP_DENOMINATOR = "bench_micro_network/BM_NetworkChurnIncremental"
+
+# Fixed work over 10 trial-shaped tasks at pool widths 1 and 4; the ratio
+# is the expected trial fan-out speedup on this host (~= min(4, cores)).
+POOL_SCALING_SERIAL = "bench_micro_pool/BM_PoolScaling/1"
+POOL_SCALING_WIDE = "bench_micro_pool/BM_PoolScaling/4"
 
 
 def find_build_dir(explicit: str | None) -> Path:
@@ -146,6 +153,9 @@ def main() -> int:
         "generated_by": "tools/bench_baseline.py",
         "quick": args.quick,
         "build_dir": str(build_dir),
+        # Host parallelism the pool benchmarks ran under; scaling numbers
+        # from a 1-core runner are dispatch-overhead-only, not speedup.
+        "jobs": os.cpu_count() or 1,
         "benchmarks": benchmarks,
         "derived": {},
     }
@@ -153,6 +163,12 @@ def main() -> int:
     den = benchmarks.get(SPEEDUP_DENOMINATOR)
     if num and den and den["ns_per_op"] > 0.0:
         report["derived"]["network_churn_speedup"] = num["ns_per_op"] / den["ns_per_op"]
+    serial = benchmarks.get(POOL_SCALING_SERIAL)
+    wide = benchmarks.get(POOL_SCALING_WIDE)
+    if serial and wide and wide["real_ns_per_op"] > 0.0:
+        # Wall-clock ratio (cpu_time only meters the dispatching thread).
+        report["derived"]["trial_parallel_speedup"] = (
+            serial["real_ns_per_op"] / wide["real_ns_per_op"])
 
     failures = [k for k, v in benchmarks.items() if "error" in v]
     out_path = Path(args.output)
@@ -161,6 +177,10 @@ def main() -> int:
     if "network_churn_speedup" in report["derived"]:
         print(f"network churn speedup (full rebuild / incremental): "
               f"{report['derived']['network_churn_speedup']:.1f}x")
+    if "trial_parallel_speedup" in report["derived"]:
+        print(f"trial fan-out speedup (pool width 1 / width 4, "
+              f"{report['jobs']} cores): "
+              f"{report['derived']['trial_parallel_speedup']:.2f}x")
     if failures:
         sys.exit(f"error: benchmarks reported failures: {failures}")
     return 0

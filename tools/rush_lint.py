@@ -19,6 +19,10 @@ trace-sim-time   every obs::EventTrace emit_* call site must pass the
                  wall-clock expression. Trace records stamped with wall
                  time would break replay determinism and the monotonicity
                  checks in tools/trace_report.py.
+raw-thread       std::thread/std::jthread/std::async or OpenMP pragmas
+                 anywhere outside src/common/task_pool.* — all
+                 parallelism must flow through the deterministic task
+                 pool so the bit-identical-results contract holds.
 
 Suppression: append `// rush-lint: allow(<rule>) <reason>` to the
 offending line, or place it on the line directly above. A reason is
@@ -42,6 +46,8 @@ EXPECTS_SCOPE = {"sim", "sched"}
 ALLOW_RE = re.compile(r"rush-lint:\s*allow\(([\w,\s-]+)\)")
 RAND_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
 CONST_CAST_RE = re.compile(r"\bconst_cast\b")
+# std::this_thread is fine (sleep/yield/get_id); thread *creation* is not.
+RAW_THREAD_RE = re.compile(r"std::j?thread\b|std::async\b|#\s*pragma\s+omp\b")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
 RANGE_FOR_RE = re.compile(
@@ -121,6 +127,10 @@ def subsystem_of(path: Path) -> str | None:
 
 def is_rng_home(path: Path) -> bool:
     return "common" in path.parts and path.stem == "rng"
+
+
+def is_pool_home(path: Path) -> bool:
+    return "common" in path.parts and path.stem == "task_pool"
 
 
 class FileUnit:
@@ -372,6 +382,11 @@ def lint_files(paths: list[Path]) -> list[Finding]:
         check_pattern_rule(
             unit, CONST_CAST_RE, "const-cast",
             "const_cast is banned; restructure ownership instead", findings)
+        if not is_pool_home(f):
+            check_pattern_rule(
+                unit, RAW_THREAD_RE, "raw-thread",
+                "raw std::thread/std::async/OpenMP bypasses the deterministic "
+                "task pool; dispatch through common/task_pool instead", findings)
         check_trace_sim_time(unit, findings)
         if sub in UNORDERED_SCOPE:
             check_unordered_iter(unit, by_dir[f.parent], findings)
@@ -421,6 +436,16 @@ SELF_TEST_CASES = {
         struct Trace { void emit_job_start(double t, int id); };
         void log_start(Trace& tr, int id) {
           tr.emit_job_start(wall_clock_seconds(), id);
+        }
+        """),
+    "raw-thread": ("src/core/bad_thread.cpp", """
+        #include <thread>
+        void fit_all(int n);
+        void spawn() {
+          std::thread worker([] { fit_all(4); });
+          worker.join();
+        #pragma omp parallel for
+          for (int i = 0; i < 4; ++i) fit_all(i);
         }
         """),
 }
