@@ -9,7 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "ml/dataset.hpp"
 #include "telemetry/features.hpp"
 
 namespace rush::core {
