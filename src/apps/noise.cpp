@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace rush::apps {
 

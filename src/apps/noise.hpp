@@ -9,7 +9,7 @@
 
 #include "cluster/network.hpp"
 #include "common/rng.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 
 namespace rush::apps {
 

@@ -13,7 +13,7 @@
 
 #include "apps/profiles.hpp"
 #include "cluster/topology.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 
 namespace rush::apps {
 

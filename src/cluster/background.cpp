@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/engine.hpp"
+
 #include "common/error.hpp"
 
 namespace rush::cluster {

@@ -18,7 +18,7 @@
 #include "cluster/lustre.hpp"
 #include "cluster/network.hpp"
 #include "common/rng.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 
 namespace rush::cluster {
 

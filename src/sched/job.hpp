@@ -7,7 +7,7 @@
 #include "apps/profiler.hpp"
 #include "apps/profiles.hpp"
 #include "cluster/topology.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 
 namespace rush::sched {
 

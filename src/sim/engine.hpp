@@ -11,6 +11,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/types.hpp"
+
 namespace rush::obs {
 class Counter;
 class MetricsRegistry;
@@ -19,12 +21,6 @@ class MetricsRegistry;
 namespace rush::sim {
 
 struct AuditTestPeer;  // test-only state corruption (tests/audit)
-
-/// Simulated time in seconds since simulation start.
-using Time = double;
-
-/// Handle for a scheduled event; used for cancellation.
-using EventId = std::uint64_t;
 
 /// Single-threaded discrete-event engine with cancellable events and
 /// periodic tasks.

@@ -1,0 +1,21 @@
+// Leaf vocabulary of the simulation layer.
+//
+// Headers that only speak *about* the engine — Time stamps, EventId
+// handles, Engine& constructor parameters — include this instead of
+// sim/engine.hpp, keeping the engine's event queue and its <functional>
+// machinery out of every downstream include graph.
+#pragma once
+
+#include <cstdint>
+
+namespace rush::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Handle for a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+class Engine;
+
+}  // namespace rush::sim

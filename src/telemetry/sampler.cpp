@@ -1,6 +1,7 @@
 #include "telemetry/sampler.hpp"
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/schema.hpp"

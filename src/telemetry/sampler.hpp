@@ -10,7 +10,7 @@
 #include "cluster/lustre.hpp"
 #include "cluster/network.hpp"
 #include "common/rng.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 #include "telemetry/store.hpp"
 
 namespace rush::obs {

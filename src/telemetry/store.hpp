@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "cluster/topology.hpp"
-#include "sim/engine.hpp"
+#include "sim/types.hpp"
 
 namespace rush::telemetry {
 

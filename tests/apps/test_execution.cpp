@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace rush::apps {
 namespace {

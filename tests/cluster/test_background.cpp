@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace rush::cluster {
 namespace {

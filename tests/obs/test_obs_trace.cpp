@@ -15,6 +15,7 @@
 
 #include "apps/execution.hpp"
 #include "cluster/allocator.hpp"
+#include "sim/engine.hpp"
 #include "obs/manifest.hpp"
 #include "sched/scheduler.hpp"
 

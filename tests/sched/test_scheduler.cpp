@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace rush::sched {
 namespace {
