@@ -1,0 +1,202 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis/lexer.hpp"
+#include "analysis/rules.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace rush::analysis {
+
+namespace {
+
+bool cxx_suffix(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx" ||
+         ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+std::string rel_to(const std::filesystem::path& root, const std::filesystem::path& p) {
+  const std::filesystem::path rel = p.lexically_relative(root);
+  return (rel.empty() || *rel.begin() == "..") ? p.generic_string() : rel.generic_string();
+}
+
+std::vector<std::filesystem::path> collect(const AnalyzeOptions& options) {
+  std::vector<std::filesystem::path> files;
+  std::vector<std::filesystem::path> inputs = options.inputs;
+  if (inputs.empty()) inputs.push_back(options.root);
+  for (const std::filesystem::path& input : inputs) {
+    if (std::filesystem::is_directory(input)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && cxx_suffix(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(input) && cxx_suffix(input)) {
+      files.push_back(input);
+    } else {
+      throw ParseError("rush_analyze: no such file or directory: " + input.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+SourceFile read_and_lex(const std::filesystem::path& root, const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw ParseError("rush_analyze: cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex_string(rel_to(root, p), buf.str());
+}
+
+std::string dir_of(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+/// Primary header of a TU: same path with a header suffix.
+const SourceFile* primary_header_of(const SourceFile& f,
+                                    const std::map<std::string, const SourceFile*>& by_rel) {
+  const std::size_t dot = f.rel.rfind('.');
+  if (dot == std::string::npos) return nullptr;
+  const std::string stem = f.rel.substr(0, dot);
+  for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
+    const auto it = by_rel.find(stem + ext);
+    if (it != by_rel.end()) return it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
+  const auto enabled = [&options](const char* rule) {
+    return options.only.empty() || options.only.count(rule) > 0;
+  };
+
+  std::vector<SourceFile> files;
+  for (const std::filesystem::path& p : collect(options)) {
+    files.push_back(read_and_lex(options.root, p));
+  }
+
+  std::map<std::string, const SourceFile*> by_rel;
+  std::map<std::string, std::vector<const SourceFile*>> by_dir;
+  for (const SourceFile& f : files) {
+    by_rel[f.rel] = &f;
+    by_dir[dir_of(f.rel)].push_back(&f);
+  }
+
+  std::vector<Finding> all;
+  const IncludeGraph graph(files);
+  if (enabled("layer-dag")) {
+    graph.check_layers(options.dag != nullptr ? *options.dag : rush_layer_dag(), all);
+  }
+  if (enabled("include-cycle")) graph.check_cycles(all);
+
+  for (const SourceFile& f : files) {
+    if (enabled("naked-rand")) check_naked_rand(f, all);
+    if (enabled("raw-thread")) check_raw_thread(f, all);
+    if (enabled("unordered-iter")) {
+      check_unordered_iter(f, by_dir.at(dir_of(f.rel)), all);
+    }
+    if (enabled("pragma-once")) check_pragma_once(f, all);
+    if (enabled("header-def")) check_header_def(f, all);
+    if (enabled("redundant-include")) {
+      check_redundant_include(f, primary_header_of(f, by_rel), all);
+    }
+    if (enabled("unused-module-include")) check_unused_module_include(f, all);
+  }
+  std::sort(all.begin(), all.end());
+
+  AnalyzeResult result;
+  result.files_analyzed = files.size();
+  for (Finding& f : all) {
+    if (baseline != nullptr && baseline->matches(f)) {
+      result.baselined.push_back(std::move(f));
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  if (baseline != nullptr) result.unused_baseline = baseline->unused();
+  return result;
+}
+
+std::string render_human(const AnalyzeResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  for (const BaselineEntry& e : result.unused_baseline) {
+    out += "warning: stale baseline entry (nothing matches): [" + e.rule + "] " +
+           e.file + " key='" + e.key + "' — remove it or run --fix-baseline\n";
+  }
+  out += "rush_analyze: " + std::to_string(result.files_analyzed) + " file(s), " +
+         std::to_string(result.findings.size()) + " finding(s)";
+  if (!result.baselined.empty()) {
+    out += ", " + std::to_string(result.baselined.size()) + " baselined";
+  }
+  if (!result.unused_baseline.empty()) {
+    out += ", " + std::to_string(result.unused_baseline.size()) + " stale baseline entr" +
+           (result.unused_baseline.size() == 1 ? "y" : "ies");
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_json(const AnalyzeResult& result) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("files_analyzed", static_cast<std::uint64_t>(result.files_analyzed));
+  w.begin_array("findings");
+  std::string item;
+  for (const Finding& f : result.findings) {
+    item.clear();
+    obs::JsonWriter fw(item);
+    fw.begin_object();
+    fw.field("rule", f.rule);
+    fw.field("file", f.file);
+    fw.field("line", static_cast<std::int64_t>(f.line));
+    fw.field("key", f.key);
+    fw.field("message", f.message);
+    fw.end_object();
+    w.raw_element(item);
+  }
+  w.end_array();
+  w.begin_array("baselined");
+  for (const Finding& f : result.baselined) {
+    item.clear();
+    obs::JsonWriter fw(item);
+    fw.begin_object();
+    fw.field("rule", f.rule);
+    fw.field("file", f.file);
+    fw.field("key", f.key);
+    fw.end_object();
+    w.raw_element(item);
+  }
+  w.end_array();
+  w.begin_array("stale_baseline");
+  for (const BaselineEntry& e : result.unused_baseline) {
+    item.clear();
+    obs::JsonWriter fw(item);
+    fw.begin_object();
+    fw.field("rule", e.rule);
+    fw.field("file", e.file);
+    fw.field("key", e.key);
+    fw.end_object();
+    w.raw_element(item);
+  }
+  w.end_array();
+  w.end_object();
+  out += "\n";
+  return out;
+}
+
+}  // namespace rush::analysis

@@ -1,0 +1,44 @@
+// Orchestration for rush_analyze: collect files, lex, run every rule,
+// apply the suppression baseline, and render reports.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/finding.hpp"
+#include "analysis/include_graph.hpp"
+
+namespace rush::analysis {
+
+struct AnalyzeOptions {
+  /// Include-resolution root; file paths in reports are relative to it.
+  std::filesystem::path root;
+  /// Files or directories (recursed) under `root` to analyze. Empty
+  /// means "all of root".
+  std::vector<std::filesystem::path> inputs;
+  /// Restrict to these rule names; empty runs the whole catalogue.
+  std::set<std::string> only;
+  /// Architecture DAG for the layer rule; null uses rush_layer_dag().
+  const LayerDag* dag = nullptr;
+};
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;    // unsuppressed: these fail the run
+  std::vector<Finding> baselined;   // matched a baseline entry
+  std::vector<BaselineEntry> unused_baseline;
+  std::size_t files_analyzed = 0;
+};
+
+/// Run the analysis. `baseline` may be null (nothing suppressed).
+AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline);
+
+/// One line per finding plus a summary, for terminals.
+std::string render_human(const AnalyzeResult& result);
+
+/// Machine-readable report (findings, baselined counts, unused entries).
+std::string render_json(const AnalyzeResult& result);
+
+}  // namespace rush::analysis

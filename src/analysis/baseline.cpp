@@ -1,0 +1,246 @@
+#include "analysis/baseline.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace rush::analysis {
+
+namespace {
+
+/// Minimal recursive-descent parser for the baseline document: objects,
+/// arrays, strings (with escapes), and the few scalars JSON allows. Not a
+/// general-purpose JSON library — just enough to read what render()
+/// writes, with positions in error messages.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void expect_object_begin() { expect('{'); }
+  void expect_array_begin() { expect('['); }
+
+  /// Inside an object: returns false (consuming '}') when it ends,
+  /// otherwise parses `"key":` and returns true.
+  bool next_key(std::string& key, bool first) {
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return false;
+    }
+    if (!first) {
+      expect(',');
+      skip_ws();
+    }
+    key = parse_string();
+    expect(':');
+    return true;
+  }
+
+  bool next_element(bool first) {
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return false;
+    }
+    if (!first) expect(',');
+    return true;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case '"': case '\\': case '/': out.push_back(esc); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          // Baseline strings are ASCII paths/identifiers; decode the BMP
+          // code point as a byte when it fits, else keep a '?'.
+          const unsigned cp = std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16);
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// Skip any one JSON value (used for unknown/ignored keys).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      ++pos_;
+      std::string key;
+      bool first = true;
+      while (next_key(key, first)) {
+        first = false;
+        skip_value();
+      }
+    } else if (c == '[') {
+      ++pos_;
+      bool first = true;
+      while (next_element(first)) {
+        first = false;
+        skip_value();
+      }
+    } else {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+    }
+  }
+
+  void expect_end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("baseline.json:" + std::to_string(line) + ": " + what);
+  }
+
+ private:
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Baseline Baseline::load(const std::filesystem::path& path) {
+  Baseline b;
+  std::ifstream in(path);
+  if (!in) return b;  // no baseline yet: nothing suppressed
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonReader r(text);
+  r.expect_object_begin();
+  std::string key;
+  bool first = true;
+  while (r.next_key(key, first)) {
+    first = false;
+    if (key != "entries") {
+      r.skip_value();  // "version" and any future metadata
+      continue;
+    }
+    r.expect_array_begin();
+    bool first_entry = true;
+    while (r.next_element(first_entry)) {
+      first_entry = false;
+      BaselineEntry e;
+      r.expect_object_begin();
+      std::string field;
+      bool first_field = true;
+      while (r.next_key(field, first_field)) {
+        first_field = false;
+        if (field == "rule") e.rule = r.parse_string();
+        else if (field == "file") e.file = r.parse_string();
+        else if (field == "key") e.key = r.parse_string();
+        else if (field == "reason") e.reason = r.parse_string();
+        else r.skip_value();
+      }
+      if (e.rule.empty() || e.file.empty()) {
+        throw ParseError("baseline entry missing required 'rule'/'file' fields");
+      }
+      b.entries_.push_back(std::move(e));
+    }
+  }
+  r.expect_end();
+  b.used_.assign(b.entries_.size(), false);
+  return b;
+}
+
+bool Baseline::matches(const Finding& f) {
+  bool hit = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const BaselineEntry& e = entries_[i];
+    if (e.rule == f.rule && e.file == f.file && e.key == f.key) {
+      used_[i] = true;
+      hit = true;  // keep scanning: every matching entry counts as used
+    }
+  }
+  return hit;
+}
+
+std::vector<BaselineEntry> Baseline::unused() const {
+  std::vector<BaselineEntry> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!used_[i]) out.push_back(entries_[i]);
+  }
+  return out;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings) const {
+  std::map<std::string, std::string> reasons;  // rule\0file\0key -> reason
+  for (const BaselineEntry& e : entries_) {
+    reasons[e.rule + '\0' + e.file + '\0' + e.key] = e.reason;
+  }
+  std::string out = "{\n  \"version\": 1,\n  \"entries\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    std::string entry;
+    obs::JsonWriter w(entry);
+    w.begin_object();
+    w.field("rule", f.rule);
+    w.field("file", f.file);
+    w.field("key", f.key);
+    const auto it = reasons.find(f.rule + '\0' + f.file + '\0' + f.key);
+    w.field("reason", it != reasons.end() && !it->second.empty()
+                          ? it->second
+                          : "TODO: justify or fix");
+    w.end_object();
+    out += first ? "\n    " : ",\n    ";
+    out += entry;
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace rush::analysis

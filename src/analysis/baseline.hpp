@@ -1,0 +1,51 @@
+// Checked-in suppression baseline for rush_analyze.
+//
+// The baseline records deliberate exceptions as (rule, file, key) triples
+// plus a human reason; it never stores line numbers, so entries survive
+// unrelated edits. `rush_analyze --fix-baseline` regenerates the file
+// from the current findings; entries that no longer match anything are
+// reported so the file cannot silently rot.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+
+namespace rush::analysis {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string key;
+  std::string reason;
+};
+
+class Baseline {
+ public:
+  Baseline() = default;
+
+  /// Parse `path`. Throws rush::ParseError on malformed JSON or schema.
+  /// A missing file yields an empty baseline (first run, nothing checked
+  /// in yet).
+  static Baseline load(const std::filesystem::path& path);
+
+  /// True when `f` matches an entry; matching entries are marked used.
+  [[nodiscard]] bool matches(const Finding& f);
+
+  /// Entries never matched by any finding this run.
+  [[nodiscard]] std::vector<BaselineEntry> unused() const;
+
+  [[nodiscard]] const std::vector<BaselineEntry>& entries() const { return entries_; }
+
+  /// Serialize `findings` as a fresh baseline document (reasons carried
+  /// over from this baseline where the triple still matches).
+  [[nodiscard]] std::string render(const std::vector<Finding>& findings) const;
+
+ private:
+  std::vector<BaselineEntry> entries_;
+  std::vector<bool> used_;
+};
+
+}  // namespace rush::analysis

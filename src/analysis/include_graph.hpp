@@ -1,0 +1,59 @@
+// Include-graph extraction and architecture enforcement.
+//
+// Quoted includes are resolved against the analysis root (the project
+// convention: every cross-module include is root-relative, e.g.
+// "common/rng.hpp") with a same-directory fallback for local includes.
+// Two rules run on the graph:
+//
+//   layer-dag      every cross-module include must be an edge the
+//                  architecture DAG permits (see rush_layer_dag below);
+//                  upward or sideways includes and undeclared modules are
+//                  findings
+//   include-cycle  the file-level include graph must be acyclic
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/lexer.hpp"
+
+namespace rush::analysis {
+
+/// module -> set of modules it may include (besides itself). A DAG by
+/// construction: enforcement rejects any edge not listed.
+using LayerDag = std::map<std::string, std::set<std::string>>;
+
+/// The RUSH architecture, lowest layer first (mirrors the CMake link
+/// graph):
+///
+///   common → obs → sim → cluster → telemetry → apps → sched
+///   common → ml
+///   common → obs → analysis
+///   … → core → {cli, bench, tests}
+///
+/// `ml` is deliberately a leaf over `common`: the learning layer must
+/// stay usable outside the simulator. `core` composes everything and
+/// only `cli` (plus bench/tests, outside src/) sits above it.
+const LayerDag& rush_layer_dag();
+
+class IncludeGraph {
+ public:
+  explicit IncludeGraph(const std::vector<SourceFile>& files);
+
+  /// Root-relative targets of `rel`'s quoted includes that resolve to
+  /// analyzed files, in declaration order.
+  [[nodiscard]] const std::vector<std::string>& resolved(const std::string& rel) const;
+
+  void check_layers(const LayerDag& dag, std::vector<Finding>& out) const;
+  void check_cycles(std::vector<Finding>& out) const;
+
+ private:
+  const std::vector<SourceFile>& files_;
+  std::map<std::string, const SourceFile*> by_rel_;
+  std::map<std::string, std::vector<std::string>> resolved_;
+};
+
+}  // namespace rush::analysis

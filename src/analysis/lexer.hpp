@@ -1,0 +1,77 @@
+// C++ source lexer for the rush_analyze static-analysis subsystem.
+//
+// Produces a token stream with comments, string/char literals (including
+// raw strings), and preprocessor directives resolved — the things regex
+// lint fundamentally cannot see. Tokens carry byte offsets into the
+// file's text plus 1-based line numbers; preprocessor directives
+// (continuations folded) and `#include` targets are extracted separately.
+//
+// Inline suppressions: a comment containing `rush-analyze: allow(rule[,
+// rule...])` (the legacy `rush-lint:` spelling is also honoured) disables
+// those rules on its own line and the line below.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rush::analysis {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // identifiers and keywords alike
+  kNumber,      // pp-number (digit separators included)
+  kString,      // "...", R"(...)", prefix handled by the preceding ident
+  kCharLit,     // 'x'
+  kPunct,       // single punctuation char, except "::" which is one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::uint32_t begin = 0;  // byte offsets into SourceFile::text
+  std::uint32_t end = 0;
+  int line = 0;  // 1-based
+};
+
+/// One preprocessor directive with backslash continuations folded.
+/// Directive bodies are deliberately not tokenized; rules that care
+/// (pragma once / pragma omp, include targets) read `rest` textually.
+struct Directive {
+  std::string keyword;  // "include", "pragma", "define", ...
+  std::string rest;     // text after the keyword, comments stripped, trimmed
+  int line = 0;
+};
+
+struct Include {
+  std::string target;  // path between the delimiters, verbatim
+  bool angled = false;
+  int line = 0;
+};
+
+/// A lexed translation unit or header.
+struct SourceFile {
+  std::string rel;   // analysis-root-relative path, '/'-separated
+  std::string text;  // raw file contents; tokens index into this
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  std::vector<Include> includes;
+  bool has_pragma_once = false;
+  std::map<int, std::set<std::string>> allowed;  // line -> suppressed rules
+
+  [[nodiscard]] std::string_view tok(const Token& t) const {
+    return std::string_view(text).substr(t.begin, t.end - t.begin);
+  }
+  [[nodiscard]] std::string_view tok(std::size_t i) const { return tok(tokens[i]); }
+  [[nodiscard]] bool is_header() const;
+  /// First path component of `rel` ("common", "sim", ...); "" for files
+  /// directly under the analysis root.
+  [[nodiscard]] std::string module() const;
+  [[nodiscard]] bool is_allowed(int line, std::string_view rule) const;
+};
+
+/// Lex `text` as the contents of root-relative path `rel`.
+SourceFile lex_string(std::string rel, std::string text);
+
+}  // namespace rush::analysis

@@ -1,0 +1,124 @@
+// rush_analyze — native static analysis for the RUSH codebase.
+//
+//   rush_analyze [options] <path>...
+//
+//   --root DIR        include-resolution root (default: the sole directory
+//                     argument, else the current directory)
+//   --baseline FILE   suppression baseline (analysis/baseline.json)
+//   --fix-baseline    rewrite FILE so it covers today's findings, then
+//                     exit 0 — review the diff before committing
+//   --rule NAME       run only this rule (repeatable)
+//   --json            machine-readable report on stdout
+//   --list-rules      print the rule catalogue and exit
+//
+// Exit status: 0 clean (baselined findings do not count), 1 findings,
+// 2 usage or I/O error. See docs/static-analysis.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/rules.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rush_analyze [--root DIR] [--baseline FILE] [--fix-baseline]\n"
+               "                    [--rule NAME]... [--json] [--list-rules] <path>...\n");
+  return 2;
+}
+
+int list_rules() {
+  for (const rush::analysis::RuleInfo& r : rush::analysis::rule_catalogue()) {
+    std::printf("%-22s %s\n", r.name.c_str(), r.summary.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rush::analysis;
+  AnalyzeOptions options;
+  std::filesystem::path baseline_path;
+  bool fix_baseline = false;
+  bool json = false;
+  bool root_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.root = v;
+      root_set = true;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      baseline_path = v;
+    } else if (arg == "--rule") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.only.insert(v);
+    } else if (arg == "-h" || arg == "--help") {
+      return usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "rush_analyze: unknown option %s\n", argv[i]);
+      return usage();
+    } else {
+      options.inputs.emplace_back(arg);
+    }
+  }
+  if (options.inputs.empty()) return usage();
+  if (!root_set) {
+    options.root = options.inputs.size() == 1 &&
+                           std::filesystem::is_directory(options.inputs.front())
+                       ? options.inputs.front()
+                       : std::filesystem::current_path();
+  }
+  if (fix_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "rush_analyze: --fix-baseline requires --baseline FILE\n");
+    return 2;
+  }
+
+  try {
+    Baseline baseline;
+    const bool have_baseline = !baseline_path.empty();
+    if (have_baseline) baseline = Baseline::load(baseline_path);
+
+    if (fix_baseline) {
+      // Regenerate from an *unsuppressed* run so entries that already
+      // matched keep their reasons and everything else gets a TODO.
+      const AnalyzeResult raw = analyze(options, nullptr);
+      std::ofstream out(baseline_path);
+      if (!out) {
+        std::fprintf(stderr, "rush_analyze: cannot write %s\n",
+                     baseline_path.string().c_str());
+        return 2;
+      }
+      out << baseline.render(raw.findings);
+      std::printf("rush_analyze: wrote %zu entr%s to %s\n", raw.findings.size(),
+                  raw.findings.size() == 1 ? "y" : "ies",
+                  baseline_path.string().c_str());
+      return 0;
+    }
+
+    const AnalyzeResult result =
+        analyze(options, have_baseline ? &baseline : nullptr);
+    std::fputs((json ? render_json(result) : render_human(result)).c_str(), stdout);
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rush_analyze: %s\n", e.what());
+    return 2;
+  }
+}

@@ -124,4 +124,9 @@ void JsonWriter::element(std::uint64_t value) {
   out_ += std::to_string(value);
 }
 
+void JsonWriter::raw_element(std::string_view json) {
+  comma();
+  out_.append(json);
+}
+
 }  // namespace rush::obs

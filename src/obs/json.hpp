@@ -40,6 +40,9 @@ class JsonWriter {
   /// Array elements (only valid between begin_array/end_array).
   void element(double value);
   void element(std::uint64_t value);
+  /// Appends an already-rendered JSON value (e.g. an object built with a
+  /// second writer) as the next array element, with separator handling.
+  void raw_element(std::string_view json);
 
  private:
   void comma();

@@ -1,0 +1,3 @@
+#pragma once
+#include "b.hpp"
+namespace rush { struct A { B* peer; }; }

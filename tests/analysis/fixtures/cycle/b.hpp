@@ -1,0 +1,3 @@
+#pragma once
+#include "c.hpp"
+namespace rush { struct B { C* peer; }; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "a.hpp"
+namespace rush { struct C { A* peer; }; }

@@ -1,0 +1,3 @@
+// Not part of the cycle; must stay quiet.
+#pragma once
+namespace rush { inline int lonely() { return 7; } }

@@ -1,0 +1,3 @@
+// The one home where hardware entropy is legal (seeding the root stream).
+#include <random>
+unsigned hardware_seed() { return std::random_device{}(); }

@@ -1,0 +1,3 @@
+// The pool implementation itself is the sanctioned std::thread home.
+#include <thread>
+void spin() { std::thread t([] {}); t.join(); }

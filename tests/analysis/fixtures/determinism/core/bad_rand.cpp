@@ -1,0 +1,10 @@
+// VIOLATIONS: every form of wall-clock / hardware entropy the rule bans.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int roll() { return rand() % 6; }
+void reseed() { srand(1234); }
+std::random_device hw_entropy;
+long stamp() { return time(nullptr); }
+long stamp2() { return std::time(NULL); }

@@ -1,0 +1,15 @@
+// Negatives: comments, strings, raw strings, member calls, and seeded
+// engines must not fire.
+#include <random>
+#include <string>
+
+struct Dice { int rand(int sides); };
+
+int play(Dice& d) {
+  // rand() in a comment is fine
+  std::string s = "call rand() for fun";
+  std::string r = R"(std::random_device in a raw string)";
+  std::mt19937_64 engine(42);  // seeded: deterministic
+  int grand_total = d.rand(6);
+  return grand_total + static_cast<int>(engine() % 6) + static_cast<int>(s.size() + r.size());
+}

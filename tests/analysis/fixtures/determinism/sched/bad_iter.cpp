@@ -1,0 +1,12 @@
+// VIOLATION: the member is declared unordered in the header (a different
+// file!) and iterated here — regex lint never saw this cross-file case.
+#include "bad_iter.hpp"
+
+namespace rush::sched {
+void Weights::bump(const std::string& k) { weights_[k] += 1.0; }
+double Weights::total() const {
+  double sum = 0.0;
+  for (const auto& [k, w] : weights_) sum += w;
+  return sum;
+}
+}  // namespace rush::sched

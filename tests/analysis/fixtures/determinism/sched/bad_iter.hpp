@@ -1,0 +1,13 @@
+#pragma once
+#include <string>
+#include <unordered_map>
+
+namespace rush::sched {
+class Weights {
+ public:
+  void bump(const std::string& k);
+  [[nodiscard]] double total() const;
+ private:
+  std::unordered_map<std::string, double> weights_;
+};
+}  // namespace rush::sched

@@ -1,0 +1,29 @@
+// Negatives: sorted-copy iteration (a call in the range expression),
+// ordered containers, and a justified suppression.
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace rush::sched {
+std::vector<int> sorted_copy(const std::unordered_set<int>& s);
+
+struct Tracker {
+  std::unordered_set<int> live_;
+  std::map<int, int> ranks_;
+  std::vector<int> order_;
+
+  [[nodiscard]] int sum_sorted() const {
+    int sum = 0;
+    for (int id : sorted_copy(live_)) sum += id;
+    for (const auto& [k, v] : ranks_) sum += v;
+    for (int id : order_) sum += id;
+    return sum;
+  }
+  [[nodiscard]] int sum_unordered() const {
+    int sum = 0;
+    // rush-analyze: allow(unordered-iter) addition is order-insensitive
+    for (int id : live_) sum += id;
+    return sum;
+  }
+};
+}  // namespace rush::sched

@@ -1,0 +1,2 @@
+#pragma once
+namespace rush::cluster { inline int used() { return 9; } }

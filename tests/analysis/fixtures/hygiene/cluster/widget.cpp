@@ -1,0 +1,4 @@
+// VIOLATION: re-includes what the primary header already provides.
+#include "cluster/widget.hpp"
+#include "common/base.hpp"
+namespace rush::cluster { int widget_value() { return Widget{}.v; } }

@@ -1,0 +1,3 @@
+#pragma once
+#include "common/base.hpp"
+namespace rush::cluster { struct Widget { int v = rush::base(); }; }

@@ -1,0 +1,2 @@
+#pragma once
+namespace rush { inline int base() { return 1; } }

@@ -1,0 +1,35 @@
+// header-def fixture: three violations among a crowd of legal definitions.
+#pragma once
+#include <string>
+
+namespace rush::obs {
+
+class Writer {
+ public:
+  void flush();
+  int size() const { return n_; }  // in-class body: implicitly inline
+ private:
+  int n_ = 0;
+};
+
+// VIOLATION: plain free function definition.
+int parse_flag(const char* s) { return s != nullptr ? 1 : 0; }
+
+// VIOLATION: out-of-class member definition without inline.
+void Writer::flush() { n_ = 0; }
+
+// VIOLATION: operator overload definition without inline.
+bool operator==(const Writer& a, const Writer& b) { return &a == &b; }
+
+// All legal:
+inline int inlined() { return 1; }
+constexpr int confined() { return 2; }
+template <class T> T templated(T v) { return v; }
+static int internal_linkage() { return 4; }
+int declared_only(int x);
+inline std::string trailing() noexcept { return "ok"; }
+struct Pod { int a; int b; };
+enum class Mode : int { kOff = 0, kOn = 1 };
+namespace detail { inline int nested() { return 5; } }
+
+}  // namespace rush::obs

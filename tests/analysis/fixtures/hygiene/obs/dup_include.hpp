@@ -1,0 +1,6 @@
+// VIOLATION: the same header included twice.
+#pragma once
+#include "common/base.hpp"
+#include <string>
+#include "common/base.hpp"
+namespace rush::obs { inline int twice() { return rush::base(); } }

@@ -1,0 +1,2 @@
+// VIOLATION: no #pragma once.
+namespace rush::obs { inline int naked() { return 3; } }

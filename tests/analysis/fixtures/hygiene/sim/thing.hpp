@@ -1,0 +1,2 @@
+#pragma once
+namespace rush::sim { inline int thing() { return 8; } }

@@ -1,0 +1,6 @@
+// VIOLATION: includes sim/ but never names sim:: — dead coupling. The
+// cluster/ include is used and must stay quiet.
+#pragma once
+#include "cluster/used.hpp"
+#include "sim/thing.hpp"
+namespace rush::telemetry { inline int probe() { return cluster::used(); } }

@@ -1,0 +1,4 @@
+// VIOLATION: common is the bottom layer; it may not reach up into sim.
+#pragma once
+#include "sim/clock.hpp"
+namespace rush { inline double stamp() { return sim::tick(); } }

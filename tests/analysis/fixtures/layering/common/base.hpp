@@ -1,0 +1,3 @@
+// Leaf utility: no dependencies, any layer may include it.
+#pragma once
+namespace rush { inline int base_answer() { return 42; } }

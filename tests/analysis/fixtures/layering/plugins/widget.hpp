@@ -1,0 +1,4 @@
+// VIOLATION: module "plugins" is not declared in the architecture DAG.
+#pragma once
+#include "common/base.hpp"
+namespace rush::plugins { inline int widget() { return rush::base_answer(); } }

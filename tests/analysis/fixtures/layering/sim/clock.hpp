@@ -1,0 +1,4 @@
+// Downward include: sim may depend on common.
+#pragma once
+#include "common/base.hpp"
+namespace rush::sim { inline double tick() { return 0.5 * base_answer(); } }

@@ -1,0 +1,8 @@
+// Upward include justified with an inline allow marker: suppressed.
+#pragma once
+// rush-analyze: allow(layer-dag) fixture: proves inline suppression works
+#include "apps/thing.hpp"
+namespace rush::sim {
+using BorrowedThing = apps::Thing;  // uses apps:: so only layer-dag is in play
+inline int poke() { return 1; }
+}  // namespace rush::sim

@@ -1,0 +1,303 @@
+// Tests for the rush_analyze static-analysis subsystem: lexer behaviour,
+// each rule against its fixture tree (positive, negative, suppressed),
+// the architecture DAG's own consistency, and the baseline round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/include_graph.hpp"
+#include "analysis/lexer.hpp"
+#include "analysis/rules.hpp"
+
+namespace ra = rush::analysis;
+
+namespace {
+
+std::filesystem::path fixtures() { return std::filesystem::path(RUSH_ANALYSIS_FIXTURES); }
+
+ra::AnalyzeResult run(const std::string& subtree, std::set<std::string> only = {}) {
+  ra::AnalyzeOptions options;
+  options.root = fixtures() / subtree;
+  options.only = std::move(only);
+  return ra::analyze(options, nullptr);
+}
+
+/// (file, key) pairs of all findings, for order-insensitive comparison.
+std::multiset<std::pair<std::string, std::string>> file_keys(const ra::AnalyzeResult& r) {
+  std::multiset<std::pair<std::string, std::string>> out;
+  for (const ra::Finding& f : r.findings) out.insert({f.file, f.key});
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- lexer
+
+TEST(AnalyzeLexer, CommentsStringsAndRawStringsAreOpaque) {
+  const ra::SourceFile f = ra::lex_string("core/x.cpp",
+      "// rand() here\n"
+      "/* std::thread there */\n"
+      "const char* s = \"rand()\";\n"
+      "const char* r = R\"x(std::async 'y')x\";\n"
+      "int real_token = 1;\n");
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind == ra::TokenKind::kIdentifier) {
+      EXPECT_NE(f.tok(i), "rand");
+      EXPECT_NE(f.tok(i), "thread");
+      EXPECT_NE(f.tok(i), "async");
+    }
+  }
+  // The raw string is one token and line numbers survive it.
+  ASSERT_GE(f.tokens.size(), 2u);
+  const ra::Token& lit = f.tokens[f.tokens.size() - 2];  // the `1` before `;`
+  EXPECT_EQ(f.tok(lit), "1");
+  EXPECT_EQ(lit.line, 5);
+}
+
+TEST(AnalyzeLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  const ra::SourceFile f = ra::lex_string("core/x.cpp", "int big = 1'000'000; int after = 2;\n");
+  std::vector<std::string> idents;
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind == ra::TokenKind::kIdentifier) idents.emplace_back(f.tok(i));
+  }
+  EXPECT_EQ(idents, (std::vector<std::string>{"int", "big", "int", "after"}));
+}
+
+TEST(AnalyzeLexer, DirectivesFoldContinuationsAndExtractIncludes) {
+  const ra::SourceFile f = ra::lex_string("core/x.cpp",
+      "#pragma once\n"
+      "#include \"common/rng.hpp\"  // trailing comment\n"
+      "#include <vector>\n"
+      "#define WIDE(a, b) \\\n  ((a) + (b))\n"
+      "int x = 0;\n");
+  EXPECT_TRUE(f.has_pragma_once);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].target, "common/rng.hpp");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_TRUE(f.includes[1].angled);
+  ASSERT_GE(f.directives.size(), 4u);
+  EXPECT_EQ(f.directives[3].keyword, "define");
+  // The continuation folded into one directive: the next token is `int` on line 6.
+  EXPECT_EQ(f.tokens.front().line, 6);
+}
+
+TEST(AnalyzeLexer, AllowMarkersCoverOwnAndNextLine) {
+  const ra::SourceFile f = ra::lex_string("core/x.cpp",
+      "// rush-analyze: allow(naked-rand, raw-thread) reason here\n"
+      "int x;\n"
+      "int y;  // rush-lint: allow(unordered-iter)\n");
+  EXPECT_TRUE(f.is_allowed(1, "naked-rand"));
+  EXPECT_TRUE(f.is_allowed(2, "naked-rand"));
+  EXPECT_TRUE(f.is_allowed(2, "raw-thread"));
+  EXPECT_FALSE(f.is_allowed(3, "naked-rand"));
+  EXPECT_TRUE(f.is_allowed(3, "unordered-iter"));  // legacy spelling
+  EXPECT_FALSE(f.is_allowed(1, "unordered-iter"));
+}
+
+// ------------------------------------------------------------- layer DAG
+
+TEST(AnalyzeLayerDag, UpwardAndUndeclaredIncludesAreFindingsSuppressionWorks) {
+  const ra::AnalyzeResult r = run("layering", {"layer-dag"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"common/bad_up.hpp", "sim/clock.hpp"},  // upward include
+                {"plugins/widget.hpp", "plugins"},       // undeclared module
+            }));
+}
+
+TEST(AnalyzeLayerDag, RushDagIsAcyclicAndClosed) {
+  const ra::LayerDag& dag = ra::rush_layer_dag();
+  // Closed: every allowed dependency is itself a declared module.
+  for (const auto& [mod, deps] : dag) {
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(dag.count(dep) > 0) << mod << " -> " << dep;
+    }
+  }
+  // Acyclic: repeatedly strip modules whose deps are all stripped.
+  std::set<std::string> remaining;
+  for (const auto& [mod, deps] : dag) remaining.insert(mod);
+  bool progress = true;
+  while (progress && !remaining.empty()) {
+    progress = false;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      const std::set<std::string>& deps = dag.at(*it);
+      const bool free = std::none_of(deps.begin(), deps.end(), [&](const std::string& d) {
+        return remaining.count(d) > 0;
+      });
+      if (free) {
+        it = remaining.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  EXPECT_TRUE(remaining.empty()) << "cycle among remaining modules";
+}
+
+TEST(AnalyzeIncludeCycle, CycleIsReportedOnceStandaloneQuiet) {
+  const ra::AnalyzeResult r = run("cycle", {"include-cycle"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "include-cycle");
+  EXPECT_EQ(r.findings[0].key, "c.hpp->a.hpp");
+  EXPECT_NE(r.findings[0].message.find("a.hpp -> b.hpp -> c.hpp -> a.hpp"),
+            std::string::npos)
+      << r.findings[0].message;
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(AnalyzeNakedRand, FiresOnEveryFormRespectsHomeAndSuppressions) {
+  const ra::AnalyzeResult r = run("determinism", {"naked-rand"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"core/bad_rand.cpp", "rand"},
+                {"core/bad_rand.cpp", "srand"},
+                {"core/bad_rand.cpp", "random_device"},
+                {"core/bad_rand.cpp", "time"},
+                {"core/bad_rand.cpp", "time"},
+            }));
+}
+
+TEST(AnalyzeRawThread, FiresOnThreadAsyncOmpOutsidePool) {
+  const ra::AnalyzeResult r = run("determinism", {"raw-thread"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"core/bad_thread.cpp", "thread"},
+                {"core/bad_thread.cpp", "async"},
+                {"core/bad_thread.cpp", "omp"},
+            }));
+}
+
+TEST(AnalyzeUnorderedIter, SeesCrossFileMembersSkipsSortedCopiesAndScope) {
+  const ra::AnalyzeResult r = run("determinism", {"unordered-iter"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"sched/bad_iter.cpp", "weights_"},
+            }));
+}
+
+// -------------------------------------------------------- header hygiene
+
+TEST(AnalyzePragmaOnce, MissingGuardIsAFinding) {
+  const ra::AnalyzeResult r = run("hygiene", {"pragma-once"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"obs/no_guard.hpp", "missing"},
+            }));
+}
+
+TEST(AnalyzeHeaderDef, FlagsOnlyNonInlineNamespaceScopeDefinitions) {
+  const ra::AnalyzeResult r = run("hygiene", {"header-def"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"obs/bad_defs.hpp", "parse_flag"},
+                {"obs/bad_defs.hpp", "Writer::flush"},
+                {"obs/bad_defs.hpp", "operator=="},
+            }));
+}
+
+TEST(AnalyzeRedundantInclude, DuplicatesAndPrimaryHeaderEchoes) {
+  const ra::AnalyzeResult r = run("hygiene", {"redundant-include"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"cluster/widget.cpp", "common/base.hpp"},
+                {"obs/dup_include.hpp", "common/base.hpp"},
+            }));
+}
+
+TEST(AnalyzeUnusedModuleInclude, UnreferencedModuleOnly) {
+  const ra::AnalyzeResult r = run("hygiene", {"unused-module-include"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"telemetry/unused_inc.hpp", "sim/thing.hpp"},
+            }));
+}
+
+// ---------------------------------------------------------- integration
+
+TEST(AnalyzeFullCatalogue, FixtureTreesProduceExactlyTheSeededFindings) {
+  EXPECT_EQ(run("determinism").findings.size(), 9u);  // 5 rand + 3 thread + 1 iter
+  EXPECT_EQ(run("hygiene").findings.size(), 7u);      // 1 guard + 3 defs + 2 redundant + 1 unused
+  EXPECT_EQ(run("layering").findings.size(), 2u);
+  EXPECT_EQ(run("cycle").findings.size(), 1u);
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(AnalyzeBaseline, RoundTripSuppressesAndReportsStaleEntries) {
+  const ra::AnalyzeResult raw = run("hygiene");
+  ASSERT_FALSE(raw.findings.empty());
+
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "rush_analyze_baseline.json";
+  {
+    ra::Baseline empty;
+    std::ofstream out(path);
+    out << empty.render(raw.findings);
+  }
+
+  ra::Baseline loaded = ra::Baseline::load(path);
+  EXPECT_EQ(loaded.entries().size(), raw.findings.size());
+
+  ra::AnalyzeOptions options;
+  options.root = fixtures() / "hygiene";
+  const ra::AnalyzeResult suppressed = ra::analyze(options, &loaded);
+  EXPECT_TRUE(suppressed.findings.empty());
+  EXPECT_EQ(suppressed.baselined.size(), raw.findings.size());
+  EXPECT_TRUE(suppressed.unused_baseline.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(AnalyzeBaseline, StaleEntryIsReportedNotFatal) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "rush_analyze_stale.json";
+  {
+    std::ofstream out(path);
+    out << R"({"version":1,"entries":[
+      {"rule":"naked-rand","file":"core/gone.cpp","key":"rand","reason":"deleted file"}
+    ]})";
+  }
+  ra::Baseline loaded = ra::Baseline::load(path);
+  ra::AnalyzeOptions options;
+  options.root = fixtures() / "cycle";
+  const ra::AnalyzeResult r = ra::analyze(options, &loaded);
+  ASSERT_EQ(r.unused_baseline.size(), 1u);
+  EXPECT_EQ(r.unused_baseline[0].file, "core/gone.cpp");
+  std::filesystem::remove(path);
+}
+
+TEST(AnalyzeBaseline, MissingFileMeansEmpty) {
+  const ra::Baseline b = ra::Baseline::load("/nonexistent/rush/baseline.json");
+  EXPECT_TRUE(b.entries().empty());
+}
+
+// ------------------------------------------------------------ reporting
+
+TEST(AnalyzeReport, JsonAndHumanRendersCarryTheFindings) {
+  const ra::AnalyzeResult r = run("cycle");
+  const std::string human = ra::render_human(r);
+  EXPECT_NE(human.find("include-cycle"), std::string::npos);
+  const std::string json = ra::render_json(r);
+  EXPECT_NE(json.find("\"findings\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"include-cycle\""), std::string::npos);
+}
+
+TEST(AnalyzeCatalogue, EveryRuleIsDocumented) {
+  std::set<std::string> names;
+  for (const ra::RuleInfo& r : ra::rule_catalogue()) {
+    EXPECT_FALSE(r.summary.empty()) << r.name;
+    names.insert(r.name);
+  }
+  for (const char* expected :
+       {"layer-dag", "include-cycle", "naked-rand", "raw-thread", "unordered-iter",
+        "pragma-once", "header-def", "redundant-include", "unused-module-include"}) {
+    EXPECT_TRUE(names.count(expected) > 0) << expected;
+  }
+}
