@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
 #include "obs/trace.hpp"
 
 namespace rush::sched {
@@ -134,7 +135,7 @@ Scheduler::Reservation Scheduler::compute_reservation(const Job& job) const {
   const sim::Time now = engine_.now();
   // frees is fully sorted by (time, count) below, so the visit order
   // here cannot leak into the result
-  // rush-lint: allow(unordered-iter)
+  // rush-analyze: allow(unordered-iter)
   for (JobId id : running_) {
     const Job& r = jobs_.at(id);
     const sim::Time end_est = std::max(now, r.start_s + r.spec.walltime_estimate_s);

@@ -4,13 +4,7 @@ harness — the rules clang-tidy cannot express).
 
 Rules
 -----
-naked-rand       rand()/srand()/std::random_device anywhere outside
-                 src/common/rng.* — all randomness must flow through the
-                 seeded, splittable RNG streams so runs stay reproducible.
 const-cast       const_cast is banned outright; restructure instead.
-unordered-iter   (sim/, sched/, core/ only) range-for over a
-                 std::unordered_map/set — iteration order is unspecified,
-                 and these subsystems feed ordered, deterministic output.
 missing-expects  (sim/, sched/ only) public non-const member functions
                  that take arguments must validate them with RUSH_EXPECTS.
 trace-sim-time   every obs::EventTrace emit_* call site must pass the
@@ -19,10 +13,12 @@ trace-sim-time   every obs::EventTrace emit_* call site must pass the
                  wall-clock expression. Trace records stamped with wall
                  time would break replay determinism and the monotonicity
                  checks in tools/trace_report.py.
-raw-thread       std::thread/std::jthread/std::async or OpenMP pragmas
-                 anywhere outside src/common/task_pool.* — all
-                 parallelism must flow through the deterministic task
-                 pool so the bit-identical-results contract holds.
+
+The token-aware rules that used to live here (naked-rand, raw-thread,
+unordered-iter) moved to the native analyzer — see `rush_analyze` and
+docs/static-analysis.md. This script keeps only the rules that need
+cross-file semantic pairing (declaration ↔ definition bodies, call-site
+argument inspection) that the analyzer's per-rule token passes do not do.
 
 Suppression: append `// rush-lint: allow(<rule>) <reason>` to the
 offending line, or place it on the line directly above. A reason is
@@ -41,17 +37,9 @@ import tempfile
 from pathlib import Path
 
 CXX_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
-UNORDERED_SCOPE = {"sim", "sched", "core"}
 EXPECTS_SCOPE = {"sim", "sched"}
 ALLOW_RE = re.compile(r"rush-lint:\s*allow\(([\w,\s-]+)\)")
-RAND_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
 CONST_CAST_RE = re.compile(r"\bconst_cast\b")
-# std::this_thread is fine (sleep/yield/get_id); thread *creation* is not.
-RAW_THREAD_RE = re.compile(r"std::j?thread\b|std::async\b|#\s*pragma\s+omp\b")
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
-RANGE_FOR_RE = re.compile(
-    r"\bfor\s*\([^;()]*?:\s*\*?(?:this->)?([\w.>-]+)\s*\)")
 EMIT_CALL_RE = re.compile(r"(?:\.|->)\s*emit_\w+\s*\(")
 SIM_TIME_ARG_RE = re.compile(r"now\s*\(\s*\)|\b[A-Za-z_]\w*_s_?\b|^\s*(?:t|when)\s*$")
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
@@ -125,14 +113,6 @@ def subsystem_of(path: Path) -> str | None:
                                            "cli"}), None)
 
 
-def is_rng_home(path: Path) -> bool:
-    return "common" in path.parts and path.stem == "rng"
-
-
-def is_pool_home(path: Path) -> bool:
-    return "common" in path.parts and path.stem == "task_pool"
-
-
 class FileUnit:
     def __init__(self, path: Path):
         self.path = path
@@ -186,28 +166,6 @@ def check_trace_sim_time(unit: FileUnit, findings: list[Finding]) -> None:
             "emit_* must receive the current simulated time as its first "
             "argument (an engine now() call or a *_s variable); "
             f"got '{arg.strip()[:60]}'"))
-
-
-def check_unordered_iter(unit: FileUnit, units_in_dir: list[FileUnit],
-                         findings: list[Finding]) -> None:
-    """Flag range-for over identifiers declared as unordered containers in
-    this file or its header/source siblings (same directory)."""
-    names: set[str] = set()
-    for sibling in units_in_dir:
-        for line in sibling.clean_lines:
-            for m in UNORDERED_DECL_RE.finditer(line):
-                names.add(m.group(1))
-    if not names:
-        return
-    for ln, line in enumerate(unit.clean_lines, start=1):
-        for m in RANGE_FOR_RE.finditer(line):
-            terminal = re.split(r"[.>-]+", m.group(1))[-1]
-            if terminal in names and not unit.is_allowed(ln, "unordered-iter"):
-                findings.append(Finding(
-                    unit.path, ln, "unordered-iter",
-                    f"iteration over unordered container '{terminal}' in a "
-                    "determinism-critical subsystem; iterate a sorted copy "
-                    "or justify with an allow marker"))
 
 
 def line_of_offset(text: str, offset: int) -> int:
@@ -374,22 +332,10 @@ def lint_files(paths: list[Path]) -> list[Finding]:
     findings: list[Finding] = []
     for f, unit in units.items():
         sub = subsystem_of(f)
-        if not is_rng_home(f):
-            check_pattern_rule(
-                unit, RAND_RE, "naked-rand",
-                "raw rand()/srand()/std::random_device breaks seeded "
-                "reproducibility; draw from common/rng streams", findings)
         check_pattern_rule(
             unit, CONST_CAST_RE, "const-cast",
             "const_cast is banned; restructure ownership instead", findings)
-        if not is_pool_home(f):
-            check_pattern_rule(
-                unit, RAW_THREAD_RE, "raw-thread",
-                "raw std::thread/std::async/OpenMP bypasses the deterministic "
-                "task pool; dispatch through common/task_pool instead", findings)
         check_trace_sim_time(unit, findings)
-        if sub in UNORDERED_SCOPE:
-            check_unordered_iter(unit, by_dir[f.parent], findings)
         if sub in EXPECTS_SCOPE:
             check_missing_expects(unit, by_dir[f.parent], findings)
     findings.sort(key=lambda x: (str(x.path), x.line))
@@ -401,26 +347,8 @@ def lint_files(paths: list[Path]) -> list[Finding]:
 # clean file. Run as `rush_lint.py --self-test` (registered in ctest).
 
 SELF_TEST_CASES = {
-    "naked-rand": ("src/core/bad_rand.cpp", """
-        #include <cstdlib>
-        #include <random>
-        int roll() { return rand() % 6; }
-        std::random_device entropy;
-        """),
     "const-cast": ("src/telemetry/bad_cast.cpp", """
         void poke(const int* p) { *const_cast<int*>(p) = 1; }
-        """),
-    "unordered-iter": ("src/sched/bad_iter.cpp", """
-        #include <unordered_map>
-        #include <vector>
-        struct Table {
-          std::unordered_map<int, double> weights_;
-          std::vector<double> dump() {
-            std::vector<double> out;
-            for (const auto& [k, w] : weights_) out.push_back(w);
-            return out;
-          }
-        };
         """),
     "missing-expects": ("src/sim/bad_api.hpp", """
         #pragma once
@@ -438,16 +366,6 @@ SELF_TEST_CASES = {
           tr.emit_job_start(wall_clock_seconds(), id);
         }
         """),
-    "raw-thread": ("src/core/bad_thread.cpp", """
-        #include <thread>
-        void fit_all(int n);
-        void spawn() {
-          std::thread worker([] { fit_all(4); });
-          worker.join();
-        #pragma omp parallel for
-          for (int i = 0; i < 4; ++i) fit_all(i);
-        }
-        """),
 }
 
 CLEAN_CASE = ("src/sched/clean.hpp", """
@@ -461,10 +379,9 @@ CLEAN_CASE = ("src/sched/clean.hpp", """
         RUSH_EXPECTS(id >= 0);
         live_.insert(id);
       }
-      // rush-lint: allow(unordered-iter) accumulation is order-insensitive
       [[nodiscard]] int total() const {
         int sum = 0;
-        for (int id : live_) sum += id;  // rush-lint: allow(unordered-iter)
+        for (int id : live_) sum += id;
         return sum;
       }
       [[nodiscard]] bool contains(int id) const { return live_.count(id) > 0; }
