@@ -1,12 +1,48 @@
 // Micro-benchmarks of the ML library: fits and single-sample inference at
 // the corpus scale the pipeline actually uses (282 features).
+//
+// BM_TreeFit pins the per-node-sort reference trainer so its history
+// stays comparable; BM_TreeFitPresorted measures the production presorted
+// trainer on the same workload (tools/bench_baseline.py derives the
+// speedup from the pair). The predict benchmarks run over the compiled
+// flat planes and assert zero steady-state heap allocations via the
+// replaced global operator new below. BM_OraclePredictEndToEnd covers the
+// whole oracle hot path: canary probe, counter-feature cache, and
+// compiled-ensemble evaluation against a live environment.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "apps/profiles.hpp"
 #include "common/rng.hpp"
+#include "core/environment.hpp"
+#include "core/labeler.hpp"
+#include "core/pipeline.hpp"
+#include "core/rush_oracle.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/forest.hpp"
 #include "ml/knn.hpp"
 #include "ml/tree.hpp"
+
+namespace {
+// Global allocation counter. Single-threaded benchmarks, so a plain
+// counter is enough; volatile-free reads are fine.
+std::uint64_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -29,7 +65,32 @@ ml::Dataset synthetic(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return d;
 }
 
+/// Report the accumulated allocation count and fail the benchmark when a
+/// steady-state path that promises zero allocations touched the heap.
+void report_allocs(benchmark::State& state, std::uint64_t allocs, const char* what) {
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  if (allocs != 0) state.SkipWithError(what);
+}
+
+/// Per-node-sort reference trainer (presort off), kept measurable so the
+/// presorted speedup stays an observable ratio rather than a changelog
+/// claim.
 void BM_TreeFit(benchmark::State& state) {
+  const auto d = synthetic(static_cast<std::size_t>(state.range(0)), 282, 1);
+  ml::TreeConfig cfg;
+  cfg.presort = false;
+  for (auto _ : state) {
+    ml::DecisionTree tree(cfg);
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+/// Production trainer: one sort per feature per fit, stable partitioning
+/// down the recursion. Produces bit-identical trees to BM_TreeFit's.
+void BM_TreeFitPresorted(benchmark::State& state) {
   const auto d = synthetic(static_cast<std::size_t>(state.range(0)), 282, 1);
   for (auto _ : state) {
     ml::DecisionTree tree;
@@ -37,7 +98,7 @@ void BM_TreeFit(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.node_count());
   }
 }
-BENCHMARK(BM_TreeFit)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeFitPresorted)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 void BM_ExtraTreeFit(benchmark::State& state) {
   const auto d = synthetic(1000, 282, 2);
@@ -80,12 +141,33 @@ void BM_ForestPredict(benchmark::State& state) {
   forest.fit(d);
   Rng rng(6);
   std::vector<double> x(282);
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
     for (auto& v : x) v = rng.uniform(0.0, 1.0);
+    const std::uint64_t before = g_alloc_count;
     benchmark::DoNotOptimize(forest.predict(x));
+    allocs += g_alloc_count - before;
   }
+  report_allocs(state, allocs, "forest predict allocated in steady state");
 }
 BENCHMARK(BM_ForestPredict);
+
+/// Batched path: one predict_many call over the whole probe set, scratch
+/// reused across rows. ns/op divided by items_per_second gives the
+/// per-row cost.
+void BM_ForestPredictBatched(benchmark::State& state) {
+  const auto d = synthetic(1000, 282, 5);
+  ml::Forest forest(ml::decision_forest_config(60));
+  forest.fit(d);
+  const auto probe = synthetic(256, 282, 6);
+  std::vector<int> out(probe.rows());
+  for (auto _ : state) {
+    forest.predict_many(probe, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(probe.rows()));
+}
+BENCHMARK(BM_ForestPredictBatched);
 
 void BM_AdaBoostPredict(benchmark::State& state) {
   const auto d = synthetic(1000, 282, 7);
@@ -93,10 +175,14 @@ void BM_AdaBoostPredict(benchmark::State& state) {
   model.fit(d);
   Rng rng(8);
   std::vector<double> x(282);
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
     for (auto& v : x) v = rng.uniform(0.0, 1.0);
+    const std::uint64_t before = g_alloc_count;
     benchmark::DoNotOptimize(model.predict(x));
+    allocs += g_alloc_count - before;
   }
+  report_allocs(state, allocs, "adaboost predict allocated in steady state");
 }
 BENCHMARK(BM_AdaBoostPredict);
 
@@ -112,6 +198,66 @@ void BM_KnnPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(3000);
+
+core::Corpus oracle_corpus() {
+  constexpr std::size_t kF = telemetry::FeatureAssembler::kNumFeatures;
+  Rng rng(6);
+  core::Corpus c;
+  for (int i = 0; i < 80; ++i) {
+    core::CollectedSample s;
+    s.app = "AMG";
+    s.app_index = 0;
+    s.node_count = 16;
+    const double congestion = rng.uniform(0.0, 1.0);
+    s.runtime_s = 100.0 * (1.0 + congestion);
+    s.features_all.assign(kF, congestion);
+    s.features_job.assign(kF, congestion);
+    c.add(std::move(s));
+  }
+  for (int i = 0; i < 40; ++i) {
+    core::CollectedSample s;
+    s.app = "Kripke";
+    s.app_index = 1;
+    s.node_count = 16;
+    s.runtime_s = 200.0 + i;
+    s.features_all.assign(kF, 0.1);
+    s.features_job.assign(kF, 0.1);
+    c.add(std::move(s));
+  }
+  return c;
+}
+
+/// The full oracle hot path against a live environment: canary probe,
+/// cached counter aggregation, compiled-ensemble evaluation. Steady state
+/// (warm cache, warm buffers) must not allocate.
+void BM_OraclePredictEndToEnd(benchmark::State& state) {
+  core::Environment env{core::single_pod_config(7)};
+  env.sampler().start();
+  env.engine().run_until(300.0);
+
+  const core::Corpus corpus = oracle_corpus();
+  const core::Labeler labeler(corpus);
+  const core::TrainedPredictor predictor = core::PredictorTrainer().train(corpus, labeler);
+  core::RushOracle oracle(env, predictor);
+
+  sched::Job job;
+  job.spec.app = *apps::find_app("AMG");
+  cluster::NodeSet nodes;
+  for (int i = 0; i < 16; ++i) nodes.push_back(i);
+
+  // Warm the counter cache and scratch buffers.
+  for (int i = 0; i < 4; ++i) benchmark::DoNotOptimize(oracle.predict(job, nodes));
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_alloc_count;
+    benchmark::DoNotOptimize(oracle.predict(job, nodes));
+    allocs += g_alloc_count - before;
+  }
+  report_allocs(state, allocs, "oracle predict allocated in steady state");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OraclePredictEndToEnd);
 
 }  // namespace
 

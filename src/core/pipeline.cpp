@@ -48,17 +48,24 @@ std::string best_model(const std::vector<ModelScore>& scores) {
 }
 
 sched::VariabilityPrediction TrainedPredictor::predict(std::span<const double> features) const {
+  PredictScratch scratch;
+  return predict(features, scratch);
+}
+
+sched::VariabilityPrediction TrainedPredictor::predict(std::span<const double> features,
+                                                       PredictScratch& scratch) const {
   RUSH_EXPECTS(ready());
   RUSH_EXPECTS(features.size() == telemetry::FeatureAssembler::kNumFeatures);
-  std::vector<double> proba;
+  scratch.proba.resize(static_cast<std::size_t>(model_->num_classes()));
   if (selected_.empty()) {
-    proba = model_->predict_proba(features);
+    model_->predict_proba_into(features, scratch.proba);
   } else {
-    std::vector<double> reduced;
-    reduced.reserve(selected_.size());
-    for (std::size_t f : selected_) reduced.push_back(features[f]);
-    proba = model_->predict_proba(reduced);
+    scratch.reduced.resize(selected_.size());
+    for (std::size_t i = 0; i < selected_.size(); ++i)
+      scratch.reduced[i] = features[selected_[i]];
+    model_->predict_proba_into(scratch.reduced, scratch.proba);
   }
+  const auto& proba = scratch.proba;
   int label = static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
   if (label == 2 && variation_confidence_ > 0.0 &&
       proba[2] < variation_confidence_) {

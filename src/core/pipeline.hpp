@@ -44,9 +44,20 @@ class TrainedPredictor {
  public:
   TrainedPredictor() = default;
 
+  /// Reusable buffers for the steady-state predict path; a caller that
+  /// keeps one across calls avoids all per-prediction allocation (the
+  /// underlying ensembles predict via their compiled planes).
+  struct PredictScratch {
+    std::vector<double> reduced;
+    std::vector<double> proba;
+  };
+
   /// Predict from a full 282-feature vector (the selected subset is
   /// applied internally). Returns the three-class prediction.
   [[nodiscard]] sched::VariabilityPrediction predict(std::span<const double> features) const;
+  /// Same prediction using caller-owned scratch buffers.
+  [[nodiscard]] sched::VariabilityPrediction predict(std::span<const double> features,
+                                                     PredictScratch& scratch) const;
 
   [[nodiscard]] bool ready() const noexcept { return model_ != nullptr; }
   [[nodiscard]] telemetry::AggregationScope scope() const noexcept { return scope_; }

@@ -1,26 +1,70 @@
 #include "core/rush_oracle.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace rush::core {
 
 RushOracle::RushOracle(Environment& env, const TrainedPredictor& predictor)
-    : env_(env), predictor_(predictor) {
+    : env_(env), predictor_(predictor),
+      features_(telemetry::FeatureAssembler::kNumFeatures, 0.0),
+      agg_scratch_(env.store().num_counters()) {
   RUSH_EXPECTS(predictor.ready());
 }
 
 sched::VariabilityPrediction RushOracle::predict(const sched::Job& job,
                                                  const cluster::NodeSet& candidate_nodes) {
   ++evaluations_;
-  const auto canary = env_.canary().run(candidate_nodes);
-  const auto features =
-      env_.features().assemble(env_.engine().now(), predictor_.scope(), candidate_nodes, canary,
-                               job.spec.app.workload);
-  const auto pred = predictor_.predict(features);
+  // The canary always runs: its per-node jitter consumes RNG draws, so
+  // skipping it on a cache hit would shift every later draw in the
+  // simulation.
+  env_.canary().run_into(candidate_nodes, canary_buf_);
+
+  const sim::Time now_s = env_.engine().now();
+  const std::uint64_t revision = env_.store().revision();
+  const bool scoped = predictor_.scope() == telemetry::AggregationScope::JobNodes;
+  const std::span<double> counters(features_.data(),
+                                   telemetry::FeatureAssembler::kCounterFeatures);
+
+  CounterCacheEntry* hit = nullptr;
+  for (CounterCacheEntry& e : cache_) {
+    if (e.valid && e.now == now_s && e.revision == revision &&
+        (scoped ? e.nodes == candidate_nodes : e.nodes.empty())) {
+      hit = &e;
+      break;
+    }
+  }
+  if (hit != nullptr) {
+    ++cache_hits_;
+    std::copy(hit->counters.begin(), hit->counters.end(), counters.begin());
+  } else {
+    ++cache_misses_;
+    env_.features().counters_into(now_s, predictor_.scope(), candidate_nodes, counters,
+                                  agg_scratch_);
+    CounterCacheEntry& slot = cache_[cache_next_slot_];
+    cache_next_slot_ = (cache_next_slot_ + 1) % cache_.size();
+    slot.valid = true;
+    slot.now = now_s;
+    slot.revision = revision;
+    if (scoped) {
+      slot.nodes = candidate_nodes;
+    } else {
+      slot.nodes.clear();
+    }
+    slot.counters.assign(counters.begin(), counters.end());
+  }
+
+  telemetry::FeatureAssembler::tail_into(
+      canary_buf_, job.spec.app.workload,
+      std::span<double>(features_).subspan(telemetry::FeatureAssembler::kCounterFeatures));
+
+  const auto pred = predictor_.predict(features_, predict_scratch_);
   if (trace_ != nullptr)
-    trace_->emit_predict(env_.engine().now(), job.id, sched::prediction_name(pred),
-                         obs::feature_hash(features));
+    trace_->emit_predict(now_s, job.id, sched::prediction_name(pred),
+                         obs::feature_hash(features_));
   return pred;
 }
 

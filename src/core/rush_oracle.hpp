@@ -7,6 +7,9 @@
 // launch-or-delay decision (Algorithm 2).
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "core/environment.hpp"
 #include "core/pipeline.hpp"
 #include "sched/oracle.hpp"
@@ -26,6 +29,9 @@ class RushOracle final : public sched::VariabilityOracle {
       const sched::Job& job, const cluster::NodeSet& candidate_nodes) override;
 
   [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+  /// Counter-aggregate cache statistics (see CounterCacheEntry).
+  [[nodiscard]] std::uint64_t counter_cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t counter_cache_misses() const noexcept { return cache_misses_; }
 
   /// Record every predict() call (label + feature hash) into `trace`.
   /// Null detaches, so all inputs are valid.
@@ -33,10 +39,36 @@ class RushOracle final : public sched::VariabilityOracle {
   void set_trace(obs::EventTrace* trace) noexcept { trace_ = trace; }
 
  private:
+  /// One cached run of the 270 counter-aggregate features. The window
+  /// query is pure in (event time, store content, node set) — the canary
+  /// and class features are NOT cached: the canary consumes RNG draws and
+  /// must re-run every call. A scheduler pass probing several jobs at one
+  /// event time against the same store revision hits after the first
+  /// probe. AllNodes-scope entries keep `nodes` empty (the aggregation
+  /// ignores the job's nodes).
+  struct CounterCacheEntry {
+    bool valid = false;
+    sim::Time now = 0.0;
+    std::uint64_t revision = 0;
+    cluster::NodeSet nodes;        // exact-compare key; empty for AllNodes
+    std::vector<double> counters;  // kCounterFeatures values
+  };
+
   Environment& env_;
   const TrainedPredictor& predictor_;
   std::uint64_t evaluations_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   obs::EventTrace* trace_ = nullptr;
+
+  // Steady-state buffers: sized once in the constructor, reused by every
+  // predict() so the hot path touches no allocator.
+  telemetry::CanaryResult canary_buf_;
+  std::vector<double> features_;          // full assembled vector (282)
+  std::vector<telemetry::Agg> agg_scratch_;
+  TrainedPredictor::PredictScratch predict_scratch_;
+  std::array<CounterCacheEntry, 4> cache_;
+  std::size_t cache_next_slot_ = 0;
 };
 
 }  // namespace rush::core

@@ -38,6 +38,7 @@ void AdaBoost::fit(const Dataset& data, std::span<const double> sample_weights) 
     TreeConfig tc;
     tc.max_depth = config_.base_max_depth;
     tc.min_samples_leaf = 1;
+    tc.presort = config_.presort;
     tc.seed = rng.next();
     Stage stage{DecisionTree(tc), 0.0};
     stage.tree.fit(data, weights);
@@ -74,11 +75,19 @@ void AdaBoost::fit(const Dataset& data, std::span<const double> sample_weights) 
   if (stages_.empty()) {
     TreeConfig tc;
     tc.max_depth = config_.base_max_depth;
+    tc.presort = config_.presort;
     tc.seed = rng.next();
     Stage stage{DecisionTree(tc), 1.0};
     stage.tree.fit(data);
     stages_.push_back(std::move(stage));
   }
+
+  compile_();
+}
+
+void AdaBoost::compile_() {
+  compiled_.clear();
+  for (const Stage& s : stages_) compiled_.add_tree(s.tree.compiled(), s.alpha);
 }
 
 std::vector<double> AdaBoost::predict_proba(std::span<const double> x) const {
@@ -95,8 +104,36 @@ std::vector<double> AdaBoost::predict_proba(std::span<const double> x) const {
 }
 
 int AdaBoost::predict(std::span<const double> x) const {
-  const auto votes = predict_proba(x);
-  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+  RUSH_EXPECTS(is_fitted());
+  const auto k = static_cast<std::size_t>(num_classes_);
+  constexpr std::size_t kStack = 16;
+  double buf[kStack];
+  if (k <= kStack) {
+    const std::span<double> out(buf, k);
+    compiled_.vote_proba_into(x, out);
+    return argmax_first(out);
+  }
+  std::vector<double> out(k);
+  compiled_.vote_proba_into(x, out);
+  return argmax_first(out);
+}
+
+void AdaBoost::predict_proba_into(std::span<const double> x, std::span<double> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  RUSH_EXPECTS(out.size() == static_cast<std::size_t>(num_classes_));
+  compiled_.vote_proba_into(x, out);
+}
+
+void AdaBoost::predict_many(const Dataset& data, std::span<int> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(data.cols() == num_features_);
+  RUSH_EXPECTS(out.size() == data.rows());
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    compiled_.vote_proba_into(data.row(i), votes);
+    out[i] = argmax_first(votes);
+  }
 }
 
 std::vector<double> AdaBoost::feature_importances() const {
@@ -148,6 +185,7 @@ void AdaBoost::load_body(std::istream& is) {
     s.tree.load_body(is);
     stages_.push_back(std::move(s));
   }
+  compile_();
 }
 
 }  // namespace rush::ml

@@ -15,6 +15,8 @@ namespace rush::ml {
 struct AdaBoostConfig {
   std::size_t num_rounds = 80;
   int base_max_depth = 3;
+  /// Threaded to TreeConfig::presort for every base tree (see tree.hpp).
+  bool presort = true;
   std::uint64_t seed = 11;
 };
 
@@ -23,8 +25,14 @@ class AdaBoost final : public Classifier {
   explicit AdaBoost(AdaBoostConfig config = {});
 
   void fit(const Dataset& data, std::span<const double> sample_weights = {}) override;
+  /// Argmax over the compiled forest's weighted votes; no temporary
+  /// vector for ensembles up to 16 classes.
   [[nodiscard]] int predict(std::span<const double> x) const override;
+  /// Nested stage-loop accumulation kept as the differential-test
+  /// reference.
   [[nodiscard]] std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x, std::span<double> out) const override;
+  void predict_many(const Dataset& data, std::span<int> out) const override;
   [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
   [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
   [[nodiscard]] bool is_fitted() const noexcept override { return !stages_.empty(); }
@@ -36,6 +44,9 @@ class AdaBoost final : public Classifier {
 
   [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
   [[nodiscard]] const AdaBoostConfig& config() const noexcept { return config_; }
+  /// Flat concatenation of every stage tree weighted by its alpha
+  /// (rebuilt after fit and load).
+  [[nodiscard]] const CompiledForest& compiled() const noexcept { return compiled_; }
 
  private:
   struct Stage {
@@ -43,10 +54,13 @@ class AdaBoost final : public Classifier {
     double alpha = 0.0;
   };
 
+  void compile_();
+
   AdaBoostConfig config_;
   int num_classes_ = 0;
   std::size_t num_features_ = 0;
   std::vector<Stage> stages_;
+  CompiledForest compiled_;
 };
 
 }  // namespace rush::ml

@@ -25,6 +25,27 @@ class Classifier {
   /// Per-class scores summing to 1 (vote fractions / weighted votes).
   [[nodiscard]] virtual std::vector<double> predict_proba(std::span<const double> x) const = 0;
 
+  /// Write the same per-class scores predict_proba returns into `out`
+  /// (size num_classes()). The base implementation routes through
+  /// predict_proba and allocates; the compiled-tree models override it
+  /// with an allocation-free flat-array walk.
+  virtual void predict_proba_into(std::span<const double> x, std::span<double> out) const;
+
+  /// Scores into `out` plus the argmax label in one call — the zero-alloc
+  /// steady-state entry point (given a zero-alloc predict_proba_into).
+  int predict_into(std::span<const double> x, std::span<double> out) const {
+    predict_proba_into(x, out);
+    int best = 0;
+    for (std::size_t c = 1; c < out.size(); ++c) {
+      if (out[c] > out[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+    }
+    return best;
+  }
+
+  /// Batched labels for every row of `data` into `out` (size
+  /// data.rows()). Overrides reuse one scratch buffer across all rows.
+  virtual void predict_many(const Dataset& data, std::span<int> out) const;
+
   [[nodiscard]] virtual int num_classes() const noexcept = 0;
   [[nodiscard]] virtual std::size_t num_features() const noexcept = 0;
   [[nodiscard]] virtual bool is_fitted() const noexcept = 0;

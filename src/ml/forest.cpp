@@ -44,6 +44,7 @@ void Forest::fit(const Dataset& data, std::span<const double> sample_weights) {
     tc.min_samples_leaf = config_.min_samples_leaf;
     tc.max_features = max_features;
     tc.random_thresholds = config_.random_thresholds;
+    tc.presort = config_.presort;
     tc.seed = tree_seeds[t];
     trees_.emplace_back(tc);
   }
@@ -70,6 +71,13 @@ void Forest::fit(const Dataset& data, std::span<const double> sample_weights) {
       trees_[t].fit(data, sample_weights);
     }
   });
+
+  compile_();
+}
+
+void Forest::compile_() {
+  compiled_.clear();
+  for (const DecisionTree& tree : trees_) compiled_.add_tree(tree.compiled());
 }
 
 std::vector<double> Forest::predict_proba(std::span<const double> x) const {
@@ -84,8 +92,38 @@ std::vector<double> Forest::predict_proba(std::span<const double> x) const {
 }
 
 int Forest::predict(std::span<const double> x) const {
-  const auto proba = predict_proba(x);
-  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+  RUSH_EXPECTS(is_fitted());
+  const auto k = static_cast<std::size_t>(num_classes_);
+  // Small stack buffer covers every class count the pipeline produces;
+  // the heap fallback keeps arbitrary ensembles correct.
+  constexpr std::size_t kStack = 16;
+  double buf[kStack];
+  if (k <= kStack) {
+    const std::span<double> out(buf, k);
+    compiled_.mean_proba_into(x, out);
+    return argmax_first(out);
+  }
+  std::vector<double> out(k);
+  compiled_.mean_proba_into(x, out);
+  return argmax_first(out);
+}
+
+void Forest::predict_proba_into(std::span<const double> x, std::span<double> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  RUSH_EXPECTS(out.size() == static_cast<std::size_t>(num_classes_));
+  compiled_.mean_proba_into(x, out);
+}
+
+void Forest::predict_many(const Dataset& data, std::span<int> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(data.cols() == num_features_);
+  RUSH_EXPECTS(out.size() == data.rows());
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    compiled_.mean_proba_into(data.row(i), proba);
+    out[i] = argmax_first(proba);
+  }
 }
 
 std::vector<double> Forest::feature_importances() const {
@@ -136,6 +174,7 @@ void Forest::load_body(std::istream& is) {
     trees_.push_back(std::move(tree));
   }
   config_.num_trees = tree_count;
+  compile_();
 }
 
 ForestConfig decision_forest_config(std::size_t num_trees, std::uint64_t seed) {

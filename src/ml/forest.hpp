@@ -18,6 +18,8 @@ struct ForestConfig {
   std::size_t max_features = 0;
   bool bootstrap = true;
   bool random_thresholds = false;
+  /// Threaded to TreeConfig::presort (exact mode only; see tree.hpp).
+  bool presort = true;
   std::uint64_t seed = 7;
 };
 
@@ -26,8 +28,13 @@ class Forest : public Classifier {
   explicit Forest(ForestConfig config = {});
 
   void fit(const Dataset& data, std::span<const double> sample_weights = {}) override;
+  /// Argmax over the compiled forest's mean leaf probabilities; no
+  /// temporary vector for ensembles up to 16 classes.
   [[nodiscard]] int predict(std::span<const double> x) const override;
+  /// Nested per-tree accumulation kept as the differential-test reference.
   [[nodiscard]] std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x, std::span<double> out) const override;
+  void predict_many(const Dataset& data, std::span<int> out) const override;
   [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
   [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
   [[nodiscard]] bool is_fitted() const noexcept override { return !trees_.empty(); }
@@ -41,12 +48,18 @@ class Forest : public Classifier {
 
   [[nodiscard]] const ForestConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  /// Flat concatenation of every tree's compiled plane (rebuilt after fit
+  /// and load).
+  [[nodiscard]] const CompiledForest& compiled() const noexcept { return compiled_; }
 
  private:
+  void compile_();
+
   ForestConfig config_;
   int num_classes_ = 0;
   std::size_t num_features_ = 0;
   std::vector<DecisionTree> trees_;
+  CompiledForest compiled_;
 };
 
 /// Factory helpers with the paper's two forest flavors.

@@ -29,15 +29,13 @@ void Knn::fit(const Dataset& data, std::span<const double> sample_weights) {
   }
 }
 
-std::vector<double> Knn::predict_proba(std::span<const double> x) const {
-  RUSH_EXPECTS(is_fitted());
-  RUSH_EXPECTS(x.size() == num_features_);
-  const auto q = scaler_.transform(x);
+void Knn::votes_into(std::span<const double> q, std::span<double> votes,
+                     std::vector<std::pair<double, std::size_t>>& dist) const {
   const std::size_t n = labels_.size();
   const std::size_t k = std::min(config_.k, n);
 
   // Partial selection of the k smallest squared distances.
-  std::vector<std::pair<double, std::size_t>> dist(n);
+  dist.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = x_.data() + i * num_features_;
     double d2 = 0.0;
@@ -49,7 +47,7 @@ std::vector<double> Knn::predict_proba(std::span<const double> x) const {
   }
   std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1), dist.end());
 
-  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  std::fill(votes.begin(), votes.end(), 0.0);
   double total = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
     const auto [d2, idx] = dist[i];
@@ -59,12 +57,35 @@ std::vector<double> Knn::predict_proba(std::span<const double> x) const {
   }
   if (total > 0.0)
     for (double& v : votes) v /= total;
+}
+
+std::vector<double> Knn::predict_proba(std::span<const double> x) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  const auto q = scaler_.transform(x);
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  std::vector<std::pair<double, std::size_t>> dist;
+  votes_into(q, votes, dist);
   return votes;
 }
 
 int Knn::predict(std::span<const double> x) const {
   const auto votes = predict_proba(x);
   return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void Knn::predict_many(const Dataset& data, std::span<int> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(data.cols() == num_features_);
+  RUSH_EXPECTS(out.size() == data.rows());
+  std::vector<double> q(num_features_);
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_));
+  std::vector<std::pair<double, std::size_t>> dist;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    scaler_.transform_into(data.row(i), q);
+    votes_into(q, votes, dist);
+    out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+  }
 }
 
 std::unique_ptr<Classifier> Knn::clone_config() const { return std::make_unique<Knn>(config_); }

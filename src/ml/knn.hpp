@@ -5,6 +5,8 @@
 // counts) contribute comparably.
 #pragma once
 
+#include <utility>
+
 #include "ml/classifier.hpp"
 #include "ml/scaler.hpp"
 
@@ -24,6 +26,8 @@ class Knn final : public Classifier {
   void fit(const Dataset& data, std::span<const double> sample_weights = {}) override;
   [[nodiscard]] int predict(std::span<const double> x) const override;
   [[nodiscard]] std::vector<double> predict_proba(std::span<const double> x) const override;
+  /// Batched labels reusing one query/distance scratch across all rows.
+  void predict_many(const Dataset& data, std::span<int> out) const override;
   [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
   [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
   [[nodiscard]] bool is_fitted() const noexcept override { return !labels_.empty(); }
@@ -35,6 +39,11 @@ class Knn final : public Classifier {
   [[nodiscard]] const KnnConfig& config() const noexcept { return config_; }
 
  private:
+  /// Votes for one standardized query; `dist` is caller-owned scratch so
+  /// batched prediction reuses one buffer across rows.
+  void votes_into(std::span<const double> q, std::span<double> votes,
+                  std::vector<std::pair<double, std::size_t>>& dist) const;
+
   KnnConfig config_;
   int num_classes_ = 0;
   std::size_t num_features_ = 0;

@@ -18,6 +18,8 @@ class StandardScaler {
 
   /// Scaled copy of one feature vector. Constant features map to 0.
   [[nodiscard]] std::vector<double> transform(std::span<const double> x) const;
+  /// Same values written into `out` (size num_features) — no allocation.
+  void transform_into(std::span<const double> x, std::span<double> out) const;
   /// Scaled copy of a whole dataset (labels/groups preserved).
   [[nodiscard]] Dataset transform(const Dataset& data) const;
 

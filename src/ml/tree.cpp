@@ -25,6 +25,27 @@ double gini(const std::vector<double>& class_weights, double total) noexcept {
 
 }  // namespace
 
+// Exact-mode presort state. `order` holds one block of `rows` row indices
+// per feature, each sorted by (value, row) — the same total order the
+// per-node std::sort over (value, row) pairs produces, so any contiguous
+// sub-range visits a node's samples in the identical sequence. When a
+// node splits, every block's [lo, hi) range is stable-partitioned into
+// left members then right members, which preserves that order for both
+// children without re-sorting.
+struct DecisionTree::FitWorkspace {
+  std::size_t rows = 0;
+  std::size_t features = 0;
+  bool presorted = false;
+  std::vector<std::uint32_t> order;      // features blocks of `rows` entries
+  std::vector<unsigned char> goes_left;  // per row: membership mark during partition
+  std::vector<std::uint32_t> spill;      // right-side buffer for the stable partition
+
+  [[nodiscard]] const std::uint32_t* block(std::size_t f) const noexcept {
+    return order.data() + f * rows;
+  }
+  [[nodiscard]] std::uint32_t* block(std::size_t f) noexcept { return order.data() + f * rows; }
+};
+
 DecisionTree::DecisionTree(TreeConfig config) : config_(config) {
   RUSH_EXPECTS(config_.max_depth > 0);
   RUSH_EXPECTS(config_.min_samples_split >= 2);
@@ -50,8 +71,29 @@ void DecisionTree::fit(const Dataset& data, std::span<const double> sample_weigh
   std::vector<std::size_t> indices(data.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
 
+  FitWorkspace ws;
+  ws.rows = data.rows();
+  ws.features = num_features_;
+  if (!config_.random_thresholds && config_.presort) {
+    RUSH_EXPECTS(data.rows() <= std::numeric_limits<std::uint32_t>::max());
+    ws.presorted = true;
+    ws.order.resize(ws.features * ws.rows);
+    ws.goes_left.assign(ws.rows, 0);
+    ws.spill.reserve(ws.rows);
+    for (std::size_t f = 0; f < ws.features; ++f) {
+      std::uint32_t* blk = ws.block(f);
+      for (std::size_t i = 0; i < ws.rows; ++i) blk[i] = static_cast<std::uint32_t>(i);
+      std::sort(blk, blk + ws.rows, [&data, f](std::uint32_t a, std::uint32_t b) {
+        const double va = data.row(a)[f];
+        const double vb = data.row(b)[f];
+        return va < vb || (va == vb && a < b);
+      });
+    }
+  }
+
   Rng rng(config_.seed);
-  build(data, weights, indices, 0, rng);
+  build(data, weights, indices, 0, rng, ws, 0, data.rows());
+  compile();
 
   // Normalize importances to sum to 1 (when any split was made).
   double total = 0.0;
@@ -78,7 +120,8 @@ std::int32_t DecisionTree::make_leaf(const Dataset& data, std::span<const double
 DecisionTree::SplitResult DecisionTree::find_split(const Dataset& data,
                                                    std::span<const double> weights,
                                                    const std::vector<std::size_t>& indices,
-                                                   Rng& rng) const {
+                                                   Rng& rng, const FitWorkspace& ws,
+                                                   std::size_t lo, std::size_t hi) const {
   const std::size_t k = static_cast<std::size_t>(num_classes_);
 
   // Parent impurity.
@@ -137,8 +180,43 @@ DecisionTree::SplitResult DecisionTree::find_split(const Dataset& data,
       if (decrease > best.impurity_decrease) {
         best = SplitResult{true, static_cast<int>(f), threshold, decrease};
       }
+    } else if (ws.presorted) {
+      // Exact CART over the presorted index: the node's samples arrive in
+      // (value, row) order directly from the partitioned block, so the
+      // boundary scan is identical to the per-node-sort path below minus
+      // the sort.
+      const std::uint32_t* blk = ws.block(f) + lo;
+      const std::size_t count = hi - lo;
+      if (data.row(blk[0])[f] == data.row(blk[count - 1])[f]) continue;
+
+      std::fill(left_w.begin(), left_w.end(), 0.0);
+      double lw = 0.0;
+      for (std::size_t pos = 0; pos + 1 < count; ++pos) {
+        const std::size_t row = blk[pos];
+        const double value = data.row(row)[f];
+        left_w[static_cast<std::size_t>(data.label(row))] += weights[row];
+        lw += weights[row];
+        const double next = data.row(blk[pos + 1])[f];
+        if (value == next) continue;  // not a boundary
+        const std::size_t left_n = pos + 1;
+        const std::size_t right_n = count - left_n;
+        if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+        std::vector<double> right_w(k);
+        for (std::size_t c = 0; c < k; ++c) right_w[c] = parent_w[c] - left_w[c];
+        const double rw = total_w - lw;
+        const double child =
+            (lw * gini(left_w, lw) + rw * gini(right_w, rw)) / total_w;
+        const double decrease = parent_gini - child;
+        if (decrease > best.impurity_decrease) {
+          best.found = true;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (value + next);
+          best.impurity_decrease = decrease;
+        }
+      }
     } else {
-      // Exact CART: sort node samples by feature value and scan boundaries.
+      // Exact CART, reference path: sort this node's samples by feature
+      // value and scan boundaries.
       sorted.clear();
       sorted.reserve(indices.size());
       for (std::size_t i : indices) sorted.emplace_back(data.row(i)[f], i);
@@ -174,12 +252,14 @@ DecisionTree::SplitResult DecisionTree::find_split(const Dataset& data,
 }
 
 std::int32_t DecisionTree::build(const Dataset& data, std::span<const double> weights,
-                                 std::vector<std::size_t>& indices, int depth, Rng& rng) {
+                                 std::vector<std::size_t>& indices, int depth, Rng& rng,
+                                 FitWorkspace& ws, std::size_t lo, std::size_t hi) {
   RUSH_ASSERT(!indices.empty());
+  RUSH_ASSERT(!ws.presorted || hi - lo == indices.size());
   const bool can_split = depth < config_.max_depth &&
                          indices.size() >= config_.min_samples_split;
   SplitResult split;
-  if (can_split) split = find_split(data, weights, indices, rng);
+  if (can_split) split = find_split(data, weights, indices, rng, ws, lo, hi);
   if (!split.found) return make_leaf(data, weights, indices);
 
   // Total node weight scales the recorded importance so splits near the
@@ -200,14 +280,38 @@ std::int32_t DecisionTree::build(const Dataset& data, std::span<const double> we
   indices.clear();
   indices.shrink_to_fit();
 
+  const std::size_t mid = lo + left_idx.size();
+  if (ws.presorted) {
+    // Thread the presorted order down to the children: stable-partition
+    // every feature block's [lo, hi) range into left members then right
+    // members, preserving (value, row) order on both sides.
+    for (std::size_t i : left_idx) ws.goes_left[i] = 1;
+    for (std::size_t f = 0; f < ws.features; ++f) {
+      std::uint32_t* blk = ws.block(f);
+      ws.spill.clear();
+      std::size_t write = lo;
+      for (std::size_t pos = lo; pos < hi; ++pos) {
+        const std::uint32_t row = blk[pos];
+        if (ws.goes_left[row] != 0) {
+          blk[write++] = row;
+        } else {
+          ws.spill.push_back(row);
+        }
+      }
+      RUSH_ASSERT(write == mid);
+      std::copy(ws.spill.begin(), ws.spill.end(), blk + write);
+    }
+    for (std::size_t i : left_idx) ws.goes_left[i] = 0;
+  }
+
   Node internal;
   internal.feature = split.feature;
   internal.threshold = split.threshold;
   nodes_.push_back(std::move(internal));
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
 
-  const std::int32_t left = build(data, weights, left_idx, depth + 1, rng);
-  const std::int32_t right = build(data, weights, right_idx, depth + 1, rng);
+  const std::int32_t left = build(data, weights, left_idx, depth + 1, rng, ws, lo, mid);
+  const std::int32_t right = build(data, weights, right_idx, depth + 1, rng, ws, mid, hi);
   nodes_[static_cast<std::size_t>(self)].left = left;
   nodes_[static_cast<std::size_t>(self)].right = right;
   return self;
@@ -226,8 +330,47 @@ std::vector<double> DecisionTree::predict_proba(std::span<const double> x) const
 }
 
 int DecisionTree::predict(std::span<const double> x) const {
-  const auto proba = predict_proba(x);
-  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  return compiled_.predict(x);
+}
+
+void DecisionTree::predict_proba_into(std::span<const double> x, std::span<double> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(x.size() == num_features_);
+  RUSH_EXPECTS(out.size() == static_cast<std::size_t>(num_classes_));
+  const auto leaf = compiled_.leaf(x);
+  std::copy(leaf.begin(), leaf.end(), out.begin());
+}
+
+void DecisionTree::predict_many(const Dataset& data, std::span<int> out) const {
+  RUSH_EXPECTS(is_fitted());
+  RUSH_EXPECTS(data.cols() == num_features_);
+  RUSH_EXPECTS(out.size() == data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) out[i] = compiled_.predict(data.row(i));
+}
+
+void DecisionTree::compile() {
+  compiled_.clear();
+  if (nodes_.empty()) return;
+  compiled_.reserve(nodes_.size(), num_classes_);
+  // BFS relayout: dest slot d holds source node order[d], and a split's
+  // children are appended together so they land adjacently — the packed
+  // node then needs only the left index (right = left + 1), and the hot
+  // upper levels of the tree share cache lines.
+  std::vector<std::int32_t> order;
+  order.reserve(nodes_.size());
+  order.push_back(0);
+  for (std::size_t dest = 0; dest < order.size(); ++dest) {
+    const Node& n = nodes_[static_cast<std::size_t>(order[dest])];
+    if (n.feature >= 0) {
+      compiled_.add_split(n.feature, n.threshold, static_cast<std::int32_t>(order.size()));
+      order.push_back(n.left);
+      order.push_back(n.right);
+    } else {
+      compiled_.add_leaf(n.proba);
+    }
+  }
 }
 
 std::vector<double> DecisionTree::feature_importances() const { return importances_; }
@@ -308,6 +451,7 @@ void DecisionTree::load_body(std::istream& is) {
   importances_.resize(num_features_);
   for (double& v : importances_) is >> v;
   if (!is) throw ParseError("tree: malformed importances");
+  compile();
 }
 
 }  // namespace rush::ml

@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "ml/classifier.hpp"
+#include "ml/compiled.hpp"
 
 namespace rush::ml {
 
@@ -24,6 +25,13 @@ struct TreeConfig {
   std::size_t max_features = 0;
   /// Extra-trees style uniform random thresholds instead of exact search.
   bool random_thresholds = false;
+  /// Exact mode only: sort every feature once per fit and thread the
+  /// sorted indices through the recursion by stable partitioning
+  /// (O(features·n log n + depth·features·n)) instead of re-sorting every
+  /// candidate feature at every node (O(depth·features·n log n)). Both
+  /// algorithms produce bit-identical trees; the per-node-sort path is
+  /// retained as the reference for differential testing.
+  bool presort = true;
   std::uint64_t seed = 1;
 };
 
@@ -32,8 +40,13 @@ class DecisionTree final : public Classifier {
   explicit DecisionTree(TreeConfig config = {});
 
   void fit(const Dataset& data, std::span<const double> sample_weights = {}) override;
+  /// Direct argmax walk over the compiled arrays — no temporary vector.
   [[nodiscard]] int predict(std::span<const double> x) const override;
+  /// Nested-node walk kept as the reference the compiled plane is
+  /// differentially tested against.
   [[nodiscard]] std::vector<double> predict_proba(std::span<const double> x) const override;
+  void predict_proba_into(std::span<const double> x, std::span<double> out) const override;
+  void predict_many(const Dataset& data, std::span<int> out) const override;
   [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
   [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
   [[nodiscard]] bool is_fitted() const noexcept override { return !nodes_.empty(); }
@@ -46,6 +59,8 @@ class DecisionTree final : public Classifier {
   [[nodiscard]] const TreeConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] int depth() const noexcept;
+  /// Flat SoA twin of the fitted tree (rebuilt after fit and load).
+  [[nodiscard]] const CompiledTree& compiled() const noexcept { return compiled_; }
 
  private:
   struct Node {
@@ -63,18 +78,26 @@ class DecisionTree final : public Classifier {
     double impurity_decrease = 0.0;
   };
 
+  /// Per-fit scratch: once-per-fit presorted feature indices plus the
+  /// partition buffers that thread them through the recursion.
+  struct FitWorkspace;
+
   std::int32_t build(const Dataset& data, std::span<const double> weights,
-                     std::vector<std::size_t>& indices, int depth, Rng& rng);
+                     std::vector<std::size_t>& indices, int depth, Rng& rng, FitWorkspace& ws,
+                     std::size_t lo, std::size_t hi);
   SplitResult find_split(const Dataset& data, std::span<const double> weights,
-                         const std::vector<std::size_t>& indices, Rng& rng) const;
+                         const std::vector<std::size_t>& indices, Rng& rng,
+                         const FitWorkspace& ws, std::size_t lo, std::size_t hi) const;
   std::int32_t make_leaf(const Dataset& data, std::span<const double> weights,
                          const std::vector<std::size_t>& indices);
+  void compile();
 
   TreeConfig config_;
   int num_classes_ = 0;
   std::size_t num_features_ = 0;
   std::vector<Node> nodes_;               // nodes_[0] is the root when fitted
   std::vector<double> importances_;       // accumulated impurity decrease
+  CompiledTree compiled_;                 // flat inference plane
 };
 
 }  // namespace rush::ml

@@ -30,13 +30,18 @@ std::array<double, 9> CanaryResult::features() const {
 }
 
 CanaryResult MpiCanary::run(const cluster::NodeSet& nodes) {
-  RUSH_EXPECTS(!nodes.empty());
   CanaryResult result;
+  run_into(nodes, result);
+  return result;
+}
+
+void MpiCanary::run_into(const cluster::NodeSet& nodes, CanaryResult& result) {
+  RUSH_EXPECTS(!nodes.empty());
   const std::size_t n = nodes.size();
-  result.send_wait_s.resize(n, 0.0);
-  result.recv_wait_s.resize(n, 0.0);
-  result.allreduce_wait_s.resize(n, 0.0);
-  if (n < 2) return result;
+  result.send_wait_s.assign(n, 0.0);
+  result.recv_wait_s.assign(n, 0.0);
+  result.allreduce_wait_s.assign(n, 0.0);
+  if (n < 2) return;
 
   const double message_gb = config_.message_mb / 1000.0;
   const double link_gbps = net_.tree().config().node_link_gbps;
@@ -64,7 +69,6 @@ CanaryResult MpiCanary::run(const cluster::NodeSet& nodes) {
     result.recv_wait_s[i] = config_.ring_iterations * ring_hop_s * 1.15 * j_recv;
     result.allreduce_wait_s[i] = config_.allreduce_iterations * ar_iter_s * j_ar;
   }
-  return result;
 }
 
 }  // namespace rush::telemetry

@@ -47,6 +47,9 @@ class MpiCanary {
   /// Run both benchmarks on `nodes` (>= 2 nodes for meaningful traffic;
   /// a single node yields near-zero waits).
   [[nodiscard]] CanaryResult run(const cluster::NodeSet& nodes);
+  /// Same probe written into caller-owned storage (vectors reuse their
+  /// capacity); identical wait values and RNG draws as run().
+  void run_into(const cluster::NodeSet& nodes, CanaryResult& out);
 
  private:
   const cluster::NetworkModel& net_;

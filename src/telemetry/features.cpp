@@ -23,24 +23,29 @@ FeatureAssembler::FeatureAssembler(const CounterStore& store, double window_s)
   RUSH_EXPECTS(store_.num_counters() * 3 == kCounterFeatures);
 }
 
-std::vector<std::string> FeatureAssembler::feature_names() {
-  std::vector<std::string> names;
-  names.reserve(kNumFeatures);
-  for (const CounterDef& def : counter_schema()) {
-    const std::string q = qualified_name(def);
-    names.push_back("min_" + q);
-    names.push_back("max_" + q);
-    names.push_back("mean_" + q);
-  }
-  for (const char* bench : {"send", "recv", "allreduce"}) {
-    for (const char* agg : {"min", "max", "mean"}) {
-      names.push_back(std::string("canary_") + bench + "_" + agg);
+const std::vector<std::string>& FeatureAssembler::feature_names() {
+  // The schema is fixed at compile time, so the ~300 string builds only
+  // need to happen on the first call.
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(kNumFeatures);
+    for (const CounterDef& def : counter_schema()) {
+      const std::string q = qualified_name(def);
+      out.push_back("min_" + q);
+      out.push_back("max_" + q);
+      out.push_back("mean_" + q);
     }
-  }
-  names.emplace_back("class_compute");
-  names.emplace_back("class_network");
-  names.emplace_back("class_io");
-  RUSH_ASSERT(names.size() == kNumFeatures);
+    for (const char* bench : {"send", "recv", "allreduce"}) {
+      for (const char* agg : {"min", "max", "mean"}) {
+        out.push_back(std::string("canary_") + bench + "_" + agg);
+      }
+    }
+    out.emplace_back("class_compute");
+    out.emplace_back("class_network");
+    out.emplace_back("class_io");
+    RUSH_ASSERT(out.size() == kNumFeatures);
+    return out;
+  }();
   return names;
 }
 
@@ -48,24 +53,48 @@ std::vector<double> FeatureAssembler::assemble(sim::Time now, AggregationScope s
                                                const cluster::NodeSet& job_nodes,
                                                const CanaryResult& canary,
                                                WorkloadClass cls) const {
-  const sim::Time t0 = now - window_s_;
-  const std::vector<Agg> aggs = scope == AggregationScope::AllNodes
-                                    ? store_.aggregate_all(t0, now)
-                                    : store_.aggregate_nodes(t0, now, job_nodes);
-
-  std::vector<double> out;
-  out.reserve(kNumFeatures);
-  for (const Agg& a : aggs) {
-    out.push_back(a.min);
-    out.push_back(a.max);
-    out.push_back(a.mean);
-  }
-  for (double f : canary.features()) out.push_back(f);
-  out.push_back(cls == WorkloadClass::Compute ? 1.0 : 0.0);
-  out.push_back(cls == WorkloadClass::Network ? 1.0 : 0.0);
-  out.push_back(cls == WorkloadClass::Io ? 1.0 : 0.0);
-  RUSH_ASSERT(out.size() == kNumFeatures);
+  std::vector<double> out(kNumFeatures);
+  std::vector<Agg> agg_scratch(store_.num_counters());
+  assemble_into(now, scope, job_nodes, canary, cls, out, agg_scratch);
   return out;
+}
+
+void FeatureAssembler::assemble_into(sim::Time now, AggregationScope scope,
+                                     const cluster::NodeSet& job_nodes,
+                                     const CanaryResult& canary, WorkloadClass cls,
+                                     std::span<double> out, std::span<Agg> agg_scratch) const {
+  RUSH_EXPECTS(out.size() == kNumFeatures);
+  counters_into(now, scope, job_nodes, out.first(kCounterFeatures), agg_scratch);
+  tail_into(canary, cls, out.subspan(kCounterFeatures));
+}
+
+void FeatureAssembler::counters_into(sim::Time now, AggregationScope scope,
+                                     const cluster::NodeSet& job_nodes, std::span<double> out,
+                                     std::span<Agg> agg_scratch) const {
+  RUSH_EXPECTS(out.size() == kCounterFeatures);
+  RUSH_EXPECTS(agg_scratch.size() == store_.num_counters());
+  const sim::Time t0 = now - window_s_;
+  if (scope == AggregationScope::AllNodes) {
+    store_.aggregate_all_into(t0, now, agg_scratch);
+  } else {
+    store_.aggregate_nodes_into(t0, now, job_nodes, agg_scratch);
+  }
+  std::size_t i = 0;
+  for (const Agg& a : agg_scratch) {
+    out[i++] = a.min;
+    out[i++] = a.max;
+    out[i++] = a.mean;
+  }
+}
+
+void FeatureAssembler::tail_into(const CanaryResult& canary, WorkloadClass cls,
+                                 std::span<double> out) {
+  RUSH_EXPECTS(out.size() == kCanaryFeatures + kClassFeatures);
+  std::size_t i = 0;
+  for (double f : canary.features()) out[i++] = f;
+  out[i++] = cls == WorkloadClass::Compute ? 1.0 : 0.0;
+  out[i++] = cls == WorkloadClass::Network ? 1.0 : 0.0;
+  out[i++] = cls == WorkloadClass::Io ? 1.0 : 0.0;
 }
 
 }  // namespace rush::telemetry

@@ -11,6 +11,7 @@
 // over all managed nodes, or only over the nodes exclusive to the job.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,8 +42,9 @@ class FeatureAssembler {
 
   /// Names for all 282 features, in assembly order
   /// ("min_sysclassib.port_xmit_data", ..., "canary_send_min", ...,
-  ///  "class_compute", ...).
-  [[nodiscard]] static std::vector<std::string> feature_names();
+  ///  "class_compute", ...). Built once and cached (the schema is fixed
+  ///  at compile time); callers that copied the returned vector still do.
+  [[nodiscard]] static const std::vector<std::string>& feature_names();
 
   /// Build the feature vector for a job about to run on `job_nodes` at
   /// time `now`, given the canary results and the job's workload class.
@@ -51,7 +53,24 @@ class FeatureAssembler {
                                              const CanaryResult& canary,
                                              WorkloadClass cls) const;
 
+  /// Same vector written into caller-owned storage: `out` has
+  /// kNumFeatures entries, `agg_scratch` has store().num_counters()
+  /// entries reused for the window aggregation.
+  void assemble_into(sim::Time now, AggregationScope scope, const cluster::NodeSet& job_nodes,
+                     const CanaryResult& canary, WorkloadClass cls, std::span<double> out,
+                     std::span<Agg> agg_scratch) const;
+
+  /// The 270 counter-aggregate features only (the cacheable prefix of an
+  /// assembled vector): min/max/mean per counter into `out`.
+  void counters_into(sim::Time now, AggregationScope scope, const cluster::NodeSet& job_nodes,
+                     std::span<double> out, std::span<Agg> agg_scratch) const;
+
+  /// The 12 trailing features (9 canary aggregates + 3-way class
+  /// one-hot) into `out`.
+  static void tail_into(const CanaryResult& canary, WorkloadClass cls, std::span<double> out);
+
   [[nodiscard]] double window_s() const noexcept { return window_s_; }
+  [[nodiscard]] const CounterStore& store() const noexcept { return store_; }
 
  private:
   const CounterStore& store_;

@@ -67,6 +67,7 @@ void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
     evicted_prefix_ = std::move(frames_.front().prefix_sum);
     frames_.pop_front();
   }
+  ++revision_;
   RUSH_AUDIT_HOOK(audit_invariants());
 }
 
@@ -125,61 +126,77 @@ std::size_t CounterStore::frames_in(sim::Time t0, sim::Time t1) const noexcept {
 std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
                                                const cluster::NodeSet& nodes) const {
   std::vector<Agg> out(num_counters_);
+  aggregate_nodes_into(t0, t1, nodes, out);
+  return out;
+}
+
+void CounterStore::aggregate_nodes_into(sim::Time t0, sim::Time t1,
+                                        const cluster::NodeSet& nodes,
+                                        std::span<Agg> out) const {
+  RUSH_EXPECTS(out.size() == num_counters_);
   std::vector<std::size_t> idx;
   idx.reserve(nodes.size());
   for (cluster::NodeId n : nodes) idx.push_back(node_index(n));
 
-  std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
-  std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
-  std::vector<double> sums(num_counters_, 0.0);
-
   const auto [lo, hi] = window_bounds(t0, t1);
+  const std::size_t samples = hi - lo;
+  if (samples == 0 || idx.empty()) {
+    std::fill(out.begin(), out.end(), Agg{});
+    return;
+  }
+
+  // Accumulate straight into the output fields: min/max in place, the
+  // running sum parked in `.mean` until the final division.
+  for (Agg& a : out)
+    a = Agg{std::numeric_limits<double>::max(), std::numeric_limits<double>::lowest(), 0.0};
   for (std::size_t fi = lo; fi < hi; ++fi) {
     const Frame& f = frames_[fi];
     for (const std::size_t ni : idx) {
       const float* row = f.values.data() + ni * num_counters_;
       for (std::size_t c = 0; c < num_counters_; ++c) {
         const double v = static_cast<double>(row[c]);
-        mins[c] = std::min(mins[c], v);
-        maxs[c] = std::max(maxs[c], v);
-        sums[c] += v;
+        out[c].min = std::min(out[c].min, v);
+        out[c].max = std::max(out[c].max, v);
+        out[c].mean += v;
       }
     }
   }
-  const std::size_t samples = hi - lo;
-  if (samples == 0 || idx.empty()) return out;
   const double denom = static_cast<double>(samples) * static_cast<double>(idx.size());
-  for (std::size_t c = 0; c < num_counters_; ++c)
-    out[c] = Agg{mins[c], maxs[c], sums[c] / denom};
-  return out;
+  for (Agg& a : out) a.mean /= denom;
 }
 
 std::vector<Agg> CounterStore::aggregate_all(sim::Time t0, sim::Time t1) const {
   std::vector<Agg> out(num_counters_);
+  aggregate_all_into(t0, t1, out);
+  return out;
+}
+
+void CounterStore::aggregate_all_into(sim::Time t0, sim::Time t1, std::span<Agg> out) const {
+  RUSH_EXPECTS(out.size() == num_counters_);
   const auto [lo, hi] = window_bounds(t0, t1);
   const std::size_t samples = hi - lo;
-  if (samples == 0) return out;
+  if (samples == 0) {
+    std::fill(out.begin(), out.end(), Agg{});
+    return;
+  }
 
   // Sums come from the running prefixes in O(counters); min/max are not
   // prefix-decomposable, so they merge the per-frame aggregates of just
   // the frames inside the window.
-  std::vector<double> mins(num_counters_, std::numeric_limits<double>::max());
-  std::vector<double> maxs(num_counters_, std::numeric_limits<double>::lowest());
+  for (Agg& a : out)
+    a = Agg{std::numeric_limits<double>::max(), std::numeric_limits<double>::lowest(), 0.0};
   for (std::size_t fi = lo; fi < hi; ++fi) {
     const Frame& f = frames_[fi];
     for (std::size_t c = 0; c < num_counters_; ++c) {
-      mins[c] = std::min(mins[c], static_cast<double>(f.all_min[c]));
-      maxs[c] = std::max(maxs[c], static_cast<double>(f.all_max[c]));
+      out[c].min = std::min(out[c].min, static_cast<double>(f.all_min[c]));
+      out[c].max = std::max(out[c].max, static_cast<double>(f.all_max[c]));
     }
   }
   const std::vector<double>& base =
       lo == 0 ? evicted_prefix_ : frames_[lo - 1].prefix_sum;
   const double denom = static_cast<double>(samples) * static_cast<double>(managed_.size());
-  for (std::size_t c = 0; c < num_counters_; ++c) {
-    const double sum = frames_[hi - 1].prefix_sum[c] - base[c];
-    out[c] = Agg{mins[c], maxs[c], sum / denom};
-  }
-  return out;
+  for (std::size_t c = 0; c < num_counters_; ++c)
+    out[c].mean = (frames_[hi - 1].prefix_sum[c] - base[c]) / denom;
 }
 
 double CounterStore::latest(cluster::NodeId node, std::size_t counter) const {
@@ -192,6 +209,7 @@ double CounterStore::latest(cluster::NodeId node, std::size_t counter) const {
 void CounterStore::clear() {
   frames_.clear();
   evicted_prefix_.assign(num_counters_, 0.0);
+  ++revision_;
 }
 
 }  // namespace rush::telemetry

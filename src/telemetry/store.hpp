@@ -45,6 +45,10 @@ class CounterStore {
   [[nodiscard]] const cluster::NodeSet& managed_nodes() const noexcept { return managed_; }
   [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
   [[nodiscard]] std::size_t frames_in(sim::Time t0, sim::Time t1) const noexcept;
+  /// Monotonic content version: bumped by every add_frame and clear.
+  /// Lets consumers (the oracle's counter-feature cache) detect that a
+  /// window query over unchanged content must return unchanged results.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
 
   /// Per-counter aggregates over frames with t in [t0, t1] and the given
   /// nodes (must all be managed). Returns num_counters() entries; returns
@@ -55,6 +59,14 @@ class CounterStore {
   /// Same, over every managed node, using the precomputed per-frame
   /// aggregates (cheap regardless of node count).
   [[nodiscard]] std::vector<Agg> aggregate_all(sim::Time t0, sim::Time t1) const;
+
+  /// Variants writing into caller-owned storage of size num_counters();
+  /// values are identical to the vector forms. aggregate_all_into touches
+  /// no allocator; the nodes variant only allocates its node-index
+  /// scratch.
+  void aggregate_nodes_into(sim::Time t0, sim::Time t1, const cluster::NodeSet& nodes,
+                            std::span<Agg> out) const;
+  void aggregate_all_into(sim::Time t0, sim::Time t1, std::span<Agg> out) const;
 
   /// Most recent value of one counter on one node; 0 if no frames.
   [[nodiscard]] double latest(cluster::NodeId node, std::size_t counter) const;
@@ -91,6 +103,7 @@ class CounterStore {
   cluster::NodeSet managed_;
   std::size_t num_counters_;
   std::size_t capacity_frames_;
+  std::uint64_t revision_ = 0;
   std::deque<Frame> frames_;
   /// prefix_sum of the most recently evicted frame (zeros before any
   /// eviction): the base the front frame's prefix chains from.

@@ -22,6 +22,14 @@ TEST(Features, NamesAreUnique) {
   EXPECT_EQ(unique.size(), names.size());
 }
 
+TEST(Features, NamesAreCached) {
+  // feature_names() memoizes behind a function-local static: every call
+  // must hand back the same vector instance.
+  const auto* first = &FeatureAssembler::feature_names();
+  const auto* second = &FeatureAssembler::feature_names();
+  EXPECT_EQ(first, second);
+}
+
 TEST(Features, NamesFollowLayout) {
   const auto names = FeatureAssembler::feature_names();
   EXPECT_EQ(names[0], "min_sysclassib.port_xmit_data");
@@ -77,6 +85,27 @@ TEST_F(FeatureAssemblyTest, JobScopeRestrictsToJobNodes) {
   const auto all = assembler_.assemble(150.0, AggregationScope::AllNodes, {1, 2}, canary_,
                                        WorkloadClass::Compute);
   EXPECT_DOUBLE_EQ(all[1], 5.0);
+}
+
+TEST_F(FeatureAssemblyTest, AssembleIntoMatchesAssemble) {
+  std::vector<double> out(FeatureAssembler::kNumFeatures);
+  std::vector<Agg> scratch(store_.num_counters());
+  for (auto scope : {AggregationScope::AllNodes, AggregationScope::JobNodes}) {
+    const auto reference =
+        assembler_.assemble(150.0, scope, {1, 2}, canary_, WorkloadClass::Network);
+    assembler_.assemble_into(150.0, scope, {1, 2}, canary_, WorkloadClass::Network, out,
+                             scratch);
+    EXPECT_EQ(reference, out);
+  }
+}
+
+TEST_F(FeatureAssemblyTest, StoreRevisionTracksContent) {
+  const std::uint64_t before = store_.revision();
+  std::vector<float> values(4 * num_counters(), 2.0F);
+  store_.add_frame(200.0, values);
+  EXPECT_EQ(store_.revision(), before + 1);
+  store_.clear();
+  EXPECT_EQ(store_.revision(), before + 2);
 }
 
 TEST_F(FeatureAssemblyTest, WindowExcludesOldFrames) {

@@ -2,8 +2,8 @@
 """Perf-baseline harness: run the micro-benchmarks, write BENCH_micro.json.
 
 Runs the google-benchmark binaries (bench_micro_network,
-bench_micro_telemetry, and bench_micro_pool by default) from a release
-build tree and distills
+bench_micro_telemetry, bench_micro_pool, and bench_micro_ml by default)
+from a release build tree and distills
 their JSON output into one machine-readable file at the repo root:
 
     {
@@ -25,9 +25,16 @@ BM_NetworkChurnIncremental — the incremental-engine headline number
 
 Usage:
     tools/bench_baseline.py [--quick] [--build-dir DIR] [--output FILE]
+        [--fail-on-regress KEY:PCT ...]
 
 --quick caps each benchmark's measuring time (CI smoke); full runs use
 google-benchmark's default timing.
+
+--fail-on-regress guards a benchmark against regression: before the
+output file is overwritten, the freshly-measured ns_per_op of KEY (e.g.
+"bench_micro_ml/BM_ForestPredict") is compared against the committed
+value; the run fails if it regressed by more than PCT percent. Keys
+absent from either side are skipped (first baseline runs stay green).
 """
 
 from __future__ import annotations
@@ -41,7 +48,8 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BENCHES = ["bench_micro_network", "bench_micro_telemetry", "bench_micro_pool"]
+DEFAULT_BENCHES = ["bench_micro_network", "bench_micro_telemetry", "bench_micro_pool",
+                   "bench_micro_ml"]
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 SPEEDUP_NUMERATOR = "bench_micro_network/BM_NetworkChurnFullRebuild"
@@ -51,6 +59,11 @@ SPEEDUP_DENOMINATOR = "bench_micro_network/BM_NetworkChurnIncremental"
 # is the expected trial fan-out speedup on this host (~= min(4, cores)).
 POOL_SCALING_SERIAL = "bench_micro_pool/BM_PoolScaling/1"
 POOL_SCALING_WIDE = "bench_micro_pool/BM_PoolScaling/4"
+
+# Per-node-sort reference trainer vs the presorted production trainer on
+# the same 1000x282 fit (both produce bit-identical trees).
+TREE_FIT_REFERENCE = "bench_micro_ml/BM_TreeFit/1000"
+TREE_FIT_PRESORTED = "bench_micro_ml/BM_TreeFitPresorted/1000"
 
 
 def find_build_dir(explicit: str | None) -> Path:
@@ -120,6 +133,38 @@ def distill(binary_name: str, raw: dict, out: dict[str, dict]) -> None:
         out[f"{binary_name}/{name}"] = entry
 
 
+def parse_regress_guards(specs: list[str]) -> list[tuple[str, float]]:
+    guards = []
+    for spec in specs:
+        key, sep, pct = spec.rpartition(":")
+        if not sep or not key:
+            sys.exit(f"error: --fail-on-regress expects KEY:PCT, got {spec!r}")
+        try:
+            guards.append((key, float(pct)))
+        except ValueError:
+            sys.exit(f"error: --fail-on-regress expects a numeric PCT, got {spec!r}")
+    return guards
+
+
+def check_regressions(guards: list[tuple[str, float]], baseline_path: Path,
+                      benchmarks: dict[str, dict]) -> list[str]:
+    """Regression messages for guarded keys that got slower than allowed."""
+    if not guards or not baseline_path.is_file():
+        return []
+    baseline = json.loads(baseline_path.read_text()).get("benchmarks", {})
+    problems = []
+    for key, pct in guards:
+        old = baseline.get(key, {}).get("ns_per_op")
+        new = benchmarks.get(key, {}).get("ns_per_op")
+        if old is None or new is None or old <= 0.0:
+            continue
+        limit = old * (1.0 + pct / 100.0)
+        if new > limit:
+            problems.append(f"{key}: {new:.1f} ns/op vs baseline {old:.1f} "
+                            f"(+{(new / old - 1.0) * 100.0:.1f}%, limit +{pct:.0f}%)")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -131,7 +176,12 @@ def main() -> int:
                         help="output path (default: BENCH_micro.json at repo root)")
     parser.add_argument("--benches", nargs="*", default=DEFAULT_BENCHES,
                         help=f"benchmark binaries to run (default: {DEFAULT_BENCHES})")
+    parser.add_argument("--fail-on-regress", action="append", default=[],
+                        metavar="KEY:PCT",
+                        help="fail if KEY's ns_per_op regressed more than PCT%% "
+                             "against the committed output file (repeatable)")
     args = parser.parse_args()
+    guards = parse_regress_guards(args.fail_on_regress)
 
     build_dir = find_build_dir(args.build_dir)
     benchmarks: dict[str, dict] = {}
@@ -169,9 +219,15 @@ def main() -> int:
         # Wall-clock ratio (cpu_time only meters the dispatching thread).
         report["derived"]["trial_parallel_speedup"] = (
             serial["real_ns_per_op"] / wide["real_ns_per_op"])
+    ref = benchmarks.get(TREE_FIT_REFERENCE)
+    pre = benchmarks.get(TREE_FIT_PRESORTED)
+    if ref and pre and pre["ns_per_op"] > 0.0:
+        report["derived"]["tree_fit_presort_speedup"] = (
+            ref["ns_per_op"] / pre["ns_per_op"])
 
     failures = [k for k, v in benchmarks.items() if "error" in v]
     out_path = Path(args.output)
+    regressions = check_regressions(guards, out_path, benchmarks)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}")
     if "network_churn_speedup" in report["derived"]:
@@ -181,8 +237,14 @@ def main() -> int:
         print(f"trial fan-out speedup (pool width 1 / width 4, "
               f"{report['jobs']} cores): "
               f"{report['derived']['trial_parallel_speedup']:.2f}x")
+    if "tree_fit_presort_speedup" in report["derived"]:
+        print(f"tree fit speedup (per-node-sort reference / presorted): "
+              f"{report['derived']['tree_fit_presort_speedup']:.2f}x")
     if failures:
         sys.exit(f"error: benchmarks reported failures: {failures}")
+    if regressions:
+        sys.exit("error: perf regressions beyond the allowed threshold:\n  " +
+                 "\n  ".join(regressions))
     return 0
 
 
