@@ -32,9 +32,12 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.fresh = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       if (i + 1 < argc) opts.trace_path = argv[++i];
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      if (i + 1 < argc) opts.faults_path = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "options: --seed N --trials N --days N --jobs N --shards N --fresh --trace PATH\n");
+          "options: --seed N --trials N --days N --jobs N --shards N --fresh --trace PATH "
+          "--faults PATH\n");
       std::exit(0);
     }
   }
@@ -93,6 +96,8 @@ core::ExperimentRunner make_runner(const BenchOptions& opts, core::Corpus corpus
     config.trace = bench_obs->trace();
     config.metrics = bench_obs->metrics();
   }
+  if (!opts.faults_path.empty())
+    config.fault_plan = faults::FaultPlan::from_json_file(opts.faults_path);
   // The experiment seed stays at its default so trial conditions are
   // stable across collection-seed sweeps; --seed varies the corpus.
   return core::ExperimentRunner(std::move(corpus), config);
@@ -105,9 +110,15 @@ core::ExperimentResult experiment(const BenchOptions& opts, core::ExperimentRunn
                                                     std::to_string(opts.trials) + "_s" +
                                                     std::to_string(opts.seed) + "_d" +
                                                     std::to_string(opts.days));
-  // Tracing needs live trials (a cache hit would leave the trace empty).
-  if (opts.fresh || !opts.trace_path.empty()) std::filesystem::remove(cache);
+  // Tracing needs live trials (a cache hit would leave the trace empty);
+  // fault runs must neither read nor leave behind fault-perturbed results.
+  const bool bypass_cache =
+      opts.fresh || !opts.trace_path.empty() || !opts.faults_path.empty();
+  if (bypass_cache) std::filesystem::remove(cache);
   std::printf("[bench] experiment %s: %s\n", spec.code.c_str(), cache.string().c_str());
+  // run_or_load_experiment would write its (fault-perturbed) result back
+  // to the cache file; fault runs go straight to the runner instead.
+  if (!opts.faults_path.empty()) return runner.run(spec);
   return core::run_or_load_experiment(runner, spec, cache);
 }
 

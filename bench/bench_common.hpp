@@ -12,6 +12,9 @@
 //   --trace PATH  write a JSONL event trace (docs/trace-format.md) plus
 //                 PATH.manifest.json / PATH.metrics.json; implies fresh
 //                 experiment runs so the trace reflects live scheduling
+//   --faults PATH inject the JSON fault plan (docs/fault-injection.md)
+//                 into every trial; implies fresh experiment runs —
+//                 fault-perturbed results must never poison the cache
 // Corpora and experiment results are cached as CSV in $RUSH_CACHE_DIR
 // (default: the working directory), so the benches share one collection
 // campaign and one run of each Table II experiment.
@@ -43,6 +46,8 @@ struct BenchOptions {
   int shards = 1;
   /// Empty disables tracing.
   std::string trace_path;
+  /// Fault plan JSON injected into every trial; empty disables faults.
+  std::string faults_path;
 };
 
 BenchOptions parse_options(int argc, char** argv);

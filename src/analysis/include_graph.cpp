@@ -47,12 +47,13 @@ const LayerDag& rush_layer_dag() {
       {"apps", {"common", "obs", "sim", "cluster", "telemetry"}},
       {"ml", {"common"}},
       {"analysis", {"common", "obs"}},
-      {"sched", {"common", "obs", "sim", "cluster", "telemetry", "apps"}},
+      {"faults", {"common", "obs", "sim", "cluster", "telemetry"}},
+      {"sched", {"common", "obs", "sim", "cluster", "telemetry", "apps", "faults"}},
       {"core",
-       {"common", "obs", "sim", "cluster", "telemetry", "apps", "ml", "sched"}},
+       {"common", "obs", "sim", "cluster", "telemetry", "apps", "ml", "sched", "faults"}},
       {"cli",
        {"common", "obs", "sim", "cluster", "telemetry", "apps", "ml", "sched",
-        "core", "analysis"}},
+        "core", "analysis", "faults"}},
   };
   return dag;
 }

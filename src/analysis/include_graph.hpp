@@ -32,6 +32,7 @@ using LayerDag = std::map<std::string, std::set<std::string>>;
 ///   common → obs → sim → cluster → telemetry → apps → sched
 ///   common → ml
 ///   common → obs → analysis
+///   … telemetry → faults → {sched, core, cli}
 ///   … → core → {cli, bench, tests}
 ///
 /// `ml` is deliberately a leaf over `common`: the learning layer must

@@ -121,6 +121,21 @@ void ExecutionModel::reevaluate_all() {
   for (auto& [id, job] : running_) refresh(id, job);
 }
 
+void ExecutionModel::abort(RunId id) {
+  auto it = running_.find(id);
+  RUSH_EXPECTS(it != running_.end());
+  engine_.cancel(it->second.completion_event);
+  running_.erase(it);
+
+  if (net_.has_source(comm_source(id))) net_.remove_source(comm_source(id));
+  if (net_.has_source(gateway_source(id))) net_.remove_source(gateway_source(id));
+  if (lustre_.has_client(id)) lustre_.remove_client(id);
+
+  // Survivors speed up now that the aborted job's traffic is gone.
+  for (auto& [other_id, other] : running_) refresh(other_id, other);
+  if (running_.empty()) stop();
+}
+
 sim::Time ExecutionModel::projected_end(RunId id) const {
   const auto it = running_.find(id);
   RUSH_EXPECTS(it != running_.end());

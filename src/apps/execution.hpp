@@ -49,6 +49,12 @@ class ExecutionModel {
   RunId launch(const AppProfile& app, cluster::NodeSet nodes, ScalingMode scaling,
                CompletionFn on_complete);
 
+  /// Kill a running job (a node died under it, see faults/): its traffic
+  /// sources are deregistered, its completion event cancelled, and its
+  /// `on_complete` never fires — the caller decides what happens to the
+  /// job (the scheduler requeues it).
+  void abort(RunId id);
+
   [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
   [[nodiscard]] bool is_running(RunId id) const noexcept { return running_.contains(id); }
 

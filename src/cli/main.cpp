@@ -24,6 +24,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/swf.hpp"
+#include "faults/plan.hpp"
 
 using namespace rush;
 
@@ -74,7 +75,11 @@ int usage() {
       "           print an exported predictor's metadata\n"
       "  simulate --corpus corpus.csv --experiment ADAA|ADPA|PDPA|WS|SS\n"
       "           [--trials N] [--seed N] [--swf-out PREFIX]\n"
-      "           run a Table II experiment (optionally exporting SWF traces)\n");
+      "           [--faults plan.json] [--fallback fcfs|lkg]\n"
+      "           run a Table II experiment (optionally exporting SWF traces);\n"
+      "           --faults injects the fault plan into every trial and\n"
+      "           --fallback picks the oracle's degraded-mode policy\n"
+      "           (see docs/fault-injection.md)\n");
   return 2;
 }
 
@@ -172,6 +177,16 @@ int cmd_simulate(const Args& args) {
   core::ExperimentConfig config;
   config.trials_per_policy = static_cast<int>(args.get_int("trials", 3));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string faults_path = args.get("faults");
+  if (!faults_path.empty())
+    config.fault_plan = faults::FaultPlan::from_json_file(faults_path);
+  const std::string fallback = args.get("fallback", "fcfs");
+  if (fallback == "lkg") {
+    config.oracle_fallback = core::OracleFallback::LastKnownGood;
+  } else if (fallback != "fcfs") {
+    std::printf("unknown --fallback '%s' (expected fcfs or lkg)\n", fallback.c_str());
+    return usage();
+  }
   core::ExperimentRunner runner(load_corpus(path), config);
   std::printf("running %s (%d jobs, %d trials/policy)...\n", spec->code.c_str(), spec->num_jobs,
               config.trials_per_policy);
@@ -188,6 +203,21 @@ int cmd_simulate(const Args& args) {
   rush_skips /= static_cast<double>(result.rush.size());
   table.add_row({"Algorithm-2 delays / trial", Table::num(base_skips, 0),
                  Table::num(rush_skips, 0)});
+  if (!config.fault_plan.empty()) {
+    auto mean_of = [](const std::vector<core::TrialResult>& trials,
+                      auto field) {
+      double sum = 0.0;
+      for (const auto& t : trials) sum += static_cast<double>(field(t));
+      return sum / static_cast<double>(trials.size());
+    };
+    table.add_row(
+        {"fault requeues / trial",
+         Table::num(mean_of(result.baseline, [](const auto& t) { return t.fault_requeues; }), 1),
+         Table::num(mean_of(result.rush, [](const auto& t) { return t.fault_requeues; }), 1)});
+    table.add_row(
+        {"oracle fallbacks / trial", Table::num(0.0, 1),
+         Table::num(mean_of(result.rush, [](const auto& t) { return t.oracle_fallbacks; }), 1)});
+  }
   std::printf("\n%s\n", table.render().c_str());
 
   Table apps({"app", "fcfs max (s)", "rush max (s)", "improvement"});

@@ -12,6 +12,8 @@ NodeAllocator::NodeAllocator(NodeSet managed) : managed_(std::move(managed)) {
   RUSH_EXPECTS(std::is_sorted(managed_.begin(), managed_.end()));
   RUSH_EXPECTS(std::adjacent_find(managed_.begin(), managed_.end()) == managed_.end());
   free_.assign(managed_.size(), true);
+  allocated_.assign(managed_.size(), false);
+  out_.assign(managed_.size(), false);
   free_count_ = static_cast<int>(managed_.size());
 }
 
@@ -41,6 +43,7 @@ std::optional<NodeSet> NodeAllocator::allocate(int count) {
         out.reserve(need);
         for (std::size_t j = run_start; j <= i; ++j) {
           free_[j] = false;
+          allocated_[j] = true;
           out.push_back(managed_[j]);
         }
         free_count_ -= count;
@@ -58,6 +61,7 @@ std::optional<NodeSet> NodeAllocator::allocate(int count) {
   for (std::size_t i = 0; i < free_.size() && out.size() < need; ++i) {
     if (free_[i]) {
       free_[i] = false;
+      allocated_[i] = true;
       out.push_back(managed_[i]);
     }
   }
@@ -71,22 +75,64 @@ void NodeAllocator::audit_invariants() const {
   RUSH_AUDIT_CHECK(std::is_sorted(managed_.begin(), managed_.end()), "");
   RUSH_AUDIT_CHECK(std::adjacent_find(managed_.begin(), managed_.end()) == managed_.end(),
                    "duplicate managed node");
-  RUSH_AUDIT_CHECK(free_.size() == managed_.size(), "bitmap not parallel to managed set");
+  RUSH_AUDIT_CHECK(free_.size() == managed_.size() && allocated_.size() == managed_.size() &&
+                       out_.size() == managed_.size(),
+                   "bitmap not parallel to managed set");
   const auto actually_free = std::count(free_.begin(), free_.end(), true);
   RUSH_AUDIT_CHECK(free_count_ == static_cast<int>(actually_free),
                    "free_count_=" + std::to_string(free_count_) + " but bitmap has " +
                        std::to_string(actually_free) + " free bits");
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    RUSH_AUDIT_CHECK(free_[i] == (!allocated_[i] && !out_[i]),
+                     "slot " + std::to_string(i) + " state bits inconsistent");
+  }
 }
 
 void NodeAllocator::release(const NodeSet& nodes) {
   for (NodeId n : nodes) {
     const auto idx = find_index(n);
     RUSH_EXPECTS(idx.has_value());
-    RUSH_EXPECTS(!free_[*idx]);
-    free_[*idx] = true;
-    ++free_count_;
+    RUSH_EXPECTS(allocated_[*idx]);
+    allocated_[*idx] = false;
+    // An out-of-service node parks instead of rejoining the free pool;
+    // set_available(node, true) brings it back.
+    if (!out_[*idx]) {
+      free_[*idx] = true;
+      ++free_count_;
+    }
   }
   RUSH_AUDIT_HOOK(audit_invariants());
+}
+
+bool NodeAllocator::set_available(NodeId node, bool available) {
+  const auto idx = find_index(node);
+  if (!idx.has_value()) return false;
+  if (out_[*idx] != available) return true;  // already in the requested state
+  if (available) {
+    out_[*idx] = false;
+    if (!allocated_[*idx]) {
+      free_[*idx] = true;
+      ++free_count_;
+    }
+  } else {
+    out_[*idx] = true;
+    if (free_[*idx]) {
+      free_[*idx] = false;
+      --free_count_;
+    }
+  }
+  RUSH_AUDIT_HOOK(audit_invariants());
+  return true;
+}
+
+bool NodeAllocator::is_available(NodeId node) const {
+  const auto idx = find_index(node);
+  RUSH_EXPECTS(idx.has_value());
+  return !out_[*idx];
+}
+
+int NodeAllocator::unavailable_count() const noexcept {
+  return static_cast<int>(std::count(out_.begin(), out_.end(), true));
 }
 
 bool NodeAllocator::is_free(NodeId node) const {

@@ -4,6 +4,12 @@
 // (which tends to stay under few edge switches, like a locality-aware
 // resource matcher) and falls back to the lowest-indexed free nodes when
 // fragmentation prevents a contiguous placement.
+//
+// Nodes can be taken out of service (crash or drain, see faults/): an
+// out-of-service node is never handed to a new allocation. If it is
+// allocated when it goes out, it stays bound to its job until release —
+// the scheduler decides whether that job dies (crash) or finishes
+// (drain) — and then parks instead of returning to the free pool.
 #pragma once
 
 #include <optional>
@@ -25,27 +31,41 @@ class NodeAllocator {
   [[nodiscard]] std::optional<NodeSet> allocate(int count);
 
   /// Releases previously allocated nodes. It is an error to free a node
-  /// that is not currently allocated by this allocator.
+  /// that is not currently allocated by this allocator. Out-of-service
+  /// nodes park instead of rejoining the free pool.
   void release(const NodeSet& nodes);
+
+  /// Take a node out of service (`available == false`) or return it
+  /// (`true`). Returns false — and does nothing — when `node` is not
+  /// managed here, so callers can broadcast cluster-wide fault events.
+  /// Idempotent in both directions.
+  bool set_available(NodeId node, bool available);
+  [[nodiscard]] bool is_available(NodeId node) const;
 
   [[nodiscard]] bool can_allocate(int count) const noexcept;
   [[nodiscard]] int free_count() const noexcept { return free_count_; }
   [[nodiscard]] int managed_count() const noexcept { return static_cast<int>(managed_.size()); }
+  /// Managed nodes currently out of service.
+  [[nodiscard]] int unavailable_count() const noexcept;
   [[nodiscard]] bool is_free(NodeId node) const;
   [[nodiscard]] const NodeSet& managed_nodes() const noexcept { return managed_; }
 
   /// Re-derives the allocation bitmap bookkeeping and throws AuditError on
-  /// corruption: managed_ stays sorted/unique, the bitmap stays parallel
-  /// to it, and free_count_ equals the number of set bits. Called
-  /// automatically after allocate/release in RUSH_AUDIT builds.
+  /// corruption: managed_ stays sorted/unique, the bitmaps stay parallel
+  /// to it, free_count_ equals the number of set bits, and every slot is
+  /// in exactly one of the free / allocated / parked-out states
+  /// (free_[i] == !allocated_[i] && !out_[i]). Called automatically after
+  /// every mutation in RUSH_AUDIT builds.
   void audit_invariants() const;
 
  private:
   friend struct AuditTestPeer;
   [[nodiscard]] std::optional<std::size_t> find_index(NodeId node) const noexcept;
 
-  NodeSet managed_;         // sorted
-  std::vector<bool> free_;  // parallel to managed_
+  NodeSet managed_;              // sorted
+  std::vector<bool> free_;       // parallel to managed_
+  std::vector<bool> allocated_;  // bound to a live allocation
+  std::vector<bool> out_;        // out of service (crash/drain)
   int free_count_ = 0;
 };
 

@@ -23,6 +23,7 @@ void NetworkModel::set_metrics(obs::MetricsRegistry* metrics) {
 NetworkModel::NetworkModel(const FatTree& tree) : tree_(tree) {
   ambient_.assign(static_cast<std::size_t>(tree_.num_links()), 0.0);
   loads_.assign(ambient_.size(), 0.0);
+  health_.assign(ambient_.size(), 1.0);
   edge_acc_.assign(static_cast<std::size_t>(tree_.num_edges()), 0.0);
   pod_acc_.assign(static_cast<std::size_t>(tree_.num_pods()), 0.0);
   touched_edges_.reserve(edge_acc_.size());
@@ -110,6 +111,21 @@ void NetworkModel::set_ambient_load(LinkId link, double gbps) {
   bump_generation();
   note_delta();
   RUSH_AUDIT_HOOK(audit_invariants());
+}
+
+void NetworkModel::set_link_health(LinkId link, double factor) {
+  RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
+  RUSH_EXPECTS(factor > 0.0 && factor <= 1.0);
+  const auto l = static_cast<std::size_t>(link);
+  if (health_[l] == factor) return;
+  health_[l] = factor;
+  bump_generation();
+  RUSH_AUDIT_HOOK(audit_invariants());
+}
+
+double NetworkModel::link_health(LinkId link) const {
+  RUSH_EXPECTS(link >= 0 && link < tree_.num_links());
+  return health_[static_cast<std::size_t>(link)];
 }
 
 void NetworkModel::map_flows(const NodeSet& nodes, double per_node_gbps, TrafficPattern pattern,
@@ -217,6 +233,10 @@ void NetworkModel::rebuild() {
 void NetworkModel::audit_invariants() const {
   RUSH_AUDIT_CHECK(ambient_.size() == static_cast<std::size_t>(tree_.num_links()), "");
   RUSH_AUDIT_CHECK(loads_.size() == ambient_.size(), "per-link load vector resized");
+  RUSH_AUDIT_CHECK(health_.size() == ambient_.size(), "per-link health vector resized");
+  for (std::size_t l = 0; l < health_.size(); ++l)
+    RUSH_AUDIT_CHECK(health_[l] > 0.0 && health_[l] <= 1.0,
+                     "link " + std::to_string(l) + " health outside (0, 1]");
   // Differential check: the incremental loads_ must match a from-scratch
   // rebuild, and every cached unit-share vector must match a fresh flow
   // mapping of its source's shape.
@@ -253,8 +273,7 @@ double NetworkModel::worst_over_links(const std::vector<LinkShare>& shares,
                                       const std::vector<double>& loads) const {
   double worst_util = 0.0;
   for (const LinkShare& s : shares) {
-    const double cap = tree_.link_capacity_gbps(s.link);
-    const double util = loads[static_cast<std::size_t>(s.link)] / cap;
+    const double util = loads[static_cast<std::size_t>(s.link)] / effective_capacity(s.link);
     worst_util = std::max(worst_util, util);
   }
   return congestion_slowdown(worst_util);
@@ -280,8 +299,8 @@ double NetworkModel::probe_slowdown(const NodeSet& nodes, double per_node_gbps,
   aggregate_shares(scratch_shares_);
   double worst_util = 0.0;
   for (const LinkShare& s : scratch_shares_) {
-    const double cap = tree_.link_capacity_gbps(s.link);
-    const double util = (loads_[static_cast<std::size_t>(s.link)] + s.gbps) / cap;
+    const double util =
+        (loads_[static_cast<std::size_t>(s.link)] + s.gbps) / effective_capacity(s.link);
     worst_util = std::max(worst_util, util);
   }
   return congestion_slowdown(worst_util);
@@ -293,7 +312,7 @@ double NetworkModel::link_load_gbps(LinkId link) const {
 }
 
 double NetworkModel::link_utilization(LinkId link) const {
-  return link_load_gbps(link) / tree_.link_capacity_gbps(link);
+  return link_load_gbps(link) / effective_capacity(link);
 }
 
 double NetworkModel::node_xmit_gbps(NodeId node) const {

@@ -68,6 +68,15 @@ class NetworkModel {
   /// O(1).
   void set_ambient_load(LinkId link, double gbps);
 
+  /// Degrade (or restore) a link: its effective capacity becomes
+  /// `factor * nominal`, factor in (0, 1], 1 = healthy. Driven by
+  /// faults::FaultInjector; flows are not re-routed, they simply see the
+  /// smaller capacity in every congestion query, which reroutes work in
+  /// effect (placement probes and the execution model steer around the
+  /// hot link). O(1); bumps the generation so observers re-evaluate.
+  void set_link_health(LinkId link, double factor);
+  [[nodiscard]] double link_health(LinkId link) const;
+
   /// Worst oversubscription factor (>= 1) over links used by the source.
   /// O(|own links|) over the source's cached shares.
   [[nodiscard]] double slowdown(SourceId id) const;
@@ -145,10 +154,15 @@ class NetworkModel {
   [[nodiscard]] double worst_over_links(const std::vector<LinkShare>& shares,
                                         const std::vector<double>& loads) const;
 
+  [[nodiscard]] double effective_capacity(LinkId link) const {
+    return tree_.link_capacity_gbps(link) * health_[static_cast<std::size_t>(link)];
+  }
+
   const FatTree& tree_;
   std::unordered_map<SourceId, SourceState> sources_;
   std::vector<double> ambient_;  // per-link ambient gbps
   std::vector<double> loads_;    // per-link total gbps, always current
+  std::vector<double> health_;   // per-link capacity factor, 1 = healthy
   std::uint64_t generation_ = 0;
   std::uint64_t deltas_since_rebuild_ = 0;
   obs::Counter* metric_probes_ = nullptr;    // owned by the attached registry

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/task_pool.hpp"
+#include "faults/injector.hpp"
 #include "obs/trace.hpp"
 
 namespace rush::core {
@@ -140,6 +141,19 @@ TrialResult ExperimentRunner::run_trial_with_sinks(const ExperimentSpec& spec, b
 
   env.attach_obs(trace, metrics);
 
+  // Fault injection: constructed only for a non-empty plan so the
+  // zero-fault path runs exactly the code it ran before faults existed
+  // (the byte-identity differential test pins this). Declared before the
+  // session so it outlives the scheduler that subscribes to it.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!config_.fault_plan.empty()) {
+    injector = std::make_unique<faults::FaultInjector>(env.engine(), config_.fault_plan);
+    injector->set_obs(trace, metrics);
+    injector->attach_network(&env.network());
+    injector->attach_sampler(&env.sampler());
+    injector->arm();
+  }
+
   sched::SchedulerConfig sc;
   sc.enable_backfill = true;
   sc.rush_enabled = use_rush;
@@ -147,11 +161,17 @@ TrialResult ExperimentRunner::run_trial_with_sinks(const ExperimentSpec& spec, b
   sc.skip_placement = config_.skip_placement;
   sc.trace = trace;
   sc.metrics = metrics;
+  sc.faults = injector.get();
 
   std::unique_ptr<RushOracle> oracle;
   if (use_rush) {
-    oracle = std::make_unique<RushOracle>(env, *predictor);
+    OracleDegradedConfig degraded;
+    degraded.faults = injector.get();
+    degraded.fallback = config_.oracle_fallback;
+    degraded.max_counter_age_s = config_.oracle_max_counter_age_s;
+    oracle = std::make_unique<RushOracle>(env, *predictor, degraded);
     oracle->set_trace(trace);
+    oracle->set_metrics(metrics);
   }
 
   SessionConfig session_config;
@@ -200,6 +220,7 @@ TrialResult ExperimentRunner::run_trial_with_sinks(const ExperimentSpec& spec, b
   result.policy = policy_name;
   result.seed = trial_seed;
   result.oracle_evaluations = oracle ? oracle->evaluations() : 0;
+  result.oracle_fallbacks = oracle ? oracle->fallbacks() : 0;
   result.probe_noise_rate = std::move(result_probe.probe_noise_rate);
   result.probe_max_edge_util = std::move(result_probe.probe_max_edge_util);
   result.probe_running_jobs = std::move(result_probe.probe_running_jobs);

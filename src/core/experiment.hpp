@@ -15,6 +15,7 @@
 #include "core/pipeline.hpp"
 #include "core/rush_oracle.hpp"
 #include "core/session.hpp"
+#include "faults/plan.hpp"
 #include "sched/scheduler.hpp"
 
 namespace rush::obs {
@@ -81,6 +82,16 @@ struct ExperimentConfig {
   /// `metrics` is internally synchronized and shared directly.
   obs::EventTrace* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Fault plan injected into every trial (faults/plan.hpp; event times
+  /// are relative to trial start, which is t=0 on the trial's private
+  /// engine). Empty (the default) constructs no injector at all, so the
+  /// zero-fault path is byte-identical to a build without faults. Trials
+  /// with a non-empty plan must never be served from a results cache.
+  faults::FaultPlan fault_plan;
+  /// Degraded-mode oracle knobs (only consulted when fault_plan is
+  /// non-empty).
+  OracleFallback oracle_fallback = OracleFallback::Fcfs;
+  double oracle_max_counter_age_s = 120.0;
 };
 
 class ExperimentRunner {

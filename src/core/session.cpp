@@ -72,6 +72,7 @@ TrialResult WorkloadSession::run() {
   TrialResult result;
   result.makespan_s = scheduler_.makespan();
   result.total_skips = scheduler_.total_skips();
+  result.fault_requeues = scheduler_.total_requeues();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const sched::Job& job = scheduler_.job(ids[i]);
     RUSH_ASSERT(job.state == sched::JobState::Completed);
@@ -85,6 +86,7 @@ TrialResult WorkloadSession::run() {
     out.submitted_at_start = i < initial;
     out.backfilled = job.backfilled;
     out.skips = job.skip_count;
+    out.requeues = job.requeues;
     result.jobs.push_back(std::move(out));
   }
   return result;

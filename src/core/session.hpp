@@ -32,6 +32,7 @@ struct JobOutcome {
   bool submitted_at_start = false;  // part of the initial 20%
   bool backfilled = false;
   int skips = 0;
+  int requeues = 0;  // node-crash restarts (nonzero only in fault runs)
 };
 
 struct TrialResult {
@@ -41,6 +42,9 @@ struct TrialResult {
   double makespan_s = 0.0;
   std::uint64_t total_skips = 0;
   std::uint64_t oracle_evaluations = 0;
+  /// Degraded-mode totals; both stay 0 unless a fault plan was active.
+  std::uint64_t fault_requeues = 0;
+  std::uint64_t oracle_fallbacks = 0;
   /// Per-minute probes (only when requested): noise-job rate is owned by
   /// the caller; these record worst edge utilization and running jobs.
   std::vector<double> probe_noise_rate;

@@ -1,0 +1,71 @@
+// Deterministic fault plans.
+//
+// A FaultPlan is a validated list of timed fault events loaded from a
+// small JSON document (schema in docs/fault-injection.md). Plans carry no
+// randomness of their own: every event names an absolute simulation time,
+// so the same plan over the same seed replays byte-for-byte. The
+// FaultInjector (faults/injector.hpp) arms a plan on a sim::Engine and
+// turns each event into state changes, trace records, and metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "sim/types.hpp"
+
+namespace rush::faults {
+
+enum class FaultKind : std::uint8_t {
+  NodeCrash,       // node dies: running jobs on it are lost and requeued
+  NodeDrain,       // node leaves service gracefully: running jobs finish
+  NodeRestore,     // node returns to service
+  LinkDegrade,     // link capacity multiplied by `factor` in (0, 1]
+  LinkRestore,     // link capacity back to nominal
+  SamplerDropout,  // telemetry frames silently dropped for `duration_s`
+  CounterCorrupt,  // sampled counter values replaced with NaN for `duration_s`
+  CanaryTimeout,   // canary probes are lost for `duration_s`
+};
+
+inline constexpr int kNumFaultKinds = 8;
+
+/// JSON spelling of a kind ("node_crash", "link_degrade", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+/// Inverse of fault_kind_name; returns false on an unknown spelling.
+[[nodiscard]] bool fault_kind_from_name(std::string_view name, FaultKind& out) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::NodeCrash;
+  sim::Time at_s = 0.0;
+  /// Target node for node-scoped kinds; for CounterCorrupt, -1 corrupts
+  /// every node's readings.
+  cluster::NodeId node = -1;
+  /// Target link for link-scoped kinds.
+  cluster::LinkId link = -1;
+  /// LinkDegrade capacity multiplier, in (0, 1].
+  double factor = 1.0;
+  /// Crash/drain/degrade: auto-restore after this long (0 = permanent).
+  /// Window kinds (dropout/corrupt/canary timeout): window length, > 0.
+  double duration_s = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Throws ParseError if any event is malformed (bad target, factor
+  /// outside (0, 1], negative or missing duration, non-finite time).
+  void validate() const;
+
+  /// Parse the documented JSON schema; throws ParseError on malformed
+  /// input or unknown keys. Both overloads validate() before returning.
+  static FaultPlan from_json(std::string_view text);
+  static FaultPlan from_json(std::istream& in);
+  static FaultPlan from_json_file(const std::string& path);
+};
+
+}  // namespace rush::faults

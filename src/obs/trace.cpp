@@ -217,6 +217,74 @@ void EventTrace::emit_congestion_episode(double t_s, double start_s, int link_id
   end_record();
 }
 
+void EventTrace::emit_fault_node_down(double t_s, int node, bool drain, double duration_s) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_node_down");
+  buffer_ += ",\"node\":" + std::to_string(node);
+  buffer_ += ",\"drain\":";
+  buffer_ += drain ? "true" : "false";
+  buffer_ += ",\"duration_s\":";
+  append_double(buffer_, duration_s);
+  end_record();
+}
+
+void EventTrace::emit_fault_node_restore(double t_s, int node) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_node_restore");
+  buffer_ += ",\"node\":" + std::to_string(node);
+  end_record();
+}
+
+void EventTrace::emit_fault_link_degrade(double t_s, int link, double factor, double duration_s) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_link_degrade");
+  buffer_ += ",\"link\":" + std::to_string(link);
+  buffer_ += ",\"factor\":";
+  append_double(buffer_, factor);
+  buffer_ += ",\"duration_s\":";
+  append_double(buffer_, duration_s);
+  end_record();
+}
+
+void EventTrace::emit_fault_link_restore(double t_s, int link) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_link_restore");
+  buffer_ += ",\"link\":" + std::to_string(link);
+  end_record();
+}
+
+void EventTrace::emit_fault_window(double t_s, std::string_view kind, int node, double until_s) {
+  if (!enabled_) return;
+  std::string event = "fault_";
+  event += kind;
+  begin_record(t_s, event);
+  buffer_ += ",\"node\":" + std::to_string(node);
+  buffer_ += ",\"until_s\":";
+  append_double(buffer_, until_s);
+  end_record();
+}
+
+void EventTrace::emit_fault_job_requeue(double t_s, std::uint64_t job_id, int node, int requeues) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_job_requeue");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"node\":" + std::to_string(node);
+  buffer_ += ",\"requeues\":" + std::to_string(requeues);
+  end_record();
+}
+
+void EventTrace::emit_fault_oracle_fallback(double t_s, std::uint64_t job_id,
+                                            std::string_view reason, std::string_view label) {
+  if (!enabled_) return;
+  begin_record(t_s, "fault_oracle_fallback");
+  buffer_ += ",\"job\":" + std::to_string(job_id);
+  buffer_ += ",\"reason\":";
+  append_escaped(buffer_, reason);
+  buffer_ += ",\"label\":";
+  append_escaped(buffer_, label);
+  end_record();
+}
+
 std::uint64_t feature_hash(const std::vector<double>& values) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   for (double v : values) {

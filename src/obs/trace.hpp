@@ -122,6 +122,31 @@ class EventTrace {
   /// threshold from `start_s` until `t_s`).
   void emit_congestion_episode(double t_s, double start_s, int link_id, double peak_utilization);
 
+  // Fault-injection records (faults/injector.hpp; docs/fault-injection.md).
+
+  /// ev=fault_node_down: a node left service; drain=false is a crash
+  /// (running jobs are lost), drain=true lets them finish. duration_s=0
+  /// means no scheduled auto-restore.
+  void emit_fault_node_down(double t_s, int node, bool drain, double duration_s);
+  /// ev=fault_node_restore: a node returned to service.
+  void emit_fault_node_restore(double t_s, int node);
+  /// ev=fault_link_degrade: link capacity multiplied by `factor`.
+  void emit_fault_link_degrade(double t_s, int link, double factor, double duration_s);
+  /// ev=fault_link_restore: link capacity back to nominal.
+  void emit_fault_link_restore(double t_s, int link);
+  /// ev=fault_<kind> for the window kinds (kind is "sampler_dropout",
+  /// "counter_corrupt", or "canary_timeout"): the outage holds from t_s
+  /// until until_s; node=-1 means cluster-wide.
+  void emit_fault_window(double t_s, std::string_view kind, int node, double until_s);
+  /// ev=fault_job_requeue: a crash killed this job's node mid-run and the
+  /// scheduler put it back in the queue (requeues = lifetime count).
+  void emit_fault_job_requeue(double t_s, std::uint64_t job_id, int node, int requeues);
+  /// ev=fault_oracle_fallback: the oracle refused its inputs (reason is
+  /// "canary-timeout", "stale-counters", or "corrupt-counters") and
+  /// emitted the degraded-policy label instead of a model prediction.
+  void emit_fault_oracle_fallback(double t_s, std::uint64_t job_id, std::string_view reason,
+                                  std::string_view label);
+
  private:
   /// Opens a record ({"v":..,"seq":..,"t":..,"ev":..) ready for fields.
   void begin_record(double t_s, std::string_view event);

@@ -40,6 +40,7 @@ struct Job {
   int skip_count = 0;       // times RUSH delayed this job (Algorithm 2)
   sim::Time last_delay_s = -1.0;  // when the oracle last delayed this job
   bool backfilled = false;        // started via the EASY backfill path
+  int requeues = 0;         // times a node crash sent this job back to the queue
   apps::RunRecord record;   // filled on completion
 
   [[nodiscard]] const std::string& app_name() const noexcept { return spec.app.name; }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "faults/injector.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "obs/trace.hpp"
@@ -42,6 +43,14 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
     metric_skips_ = &m.counter("sched.skips");
     metric_queue_depth_ = &m.histogram("sched.queue_depth", 0.0, 256.0, 64);
     metric_slowdown_ = &m.histogram("sched.slowdown", 1.0, 3.0, 80);
+  }
+  if (config_.faults != nullptr) {
+    // Registered only when faults are attached so a zero-fault run's
+    // metrics output stays byte-identical to a build without faults.
+    if (config_.metrics != nullptr)
+      metric_requeues_ = &config_.metrics->counter("sched.fault_requeues");
+    config_.faults->subscribe_node_events(
+        [this](const faults::NodeFaultEvent& ev) { handle_node_fault(ev); });
   }
 }
 
@@ -232,6 +241,52 @@ void Scheduler::handle_completion(JobId id, const apps::RunRecord& record) {
                                 job.skip_count);
   if (complete_hook_) complete_hook_(job);
   schedule_pass();
+}
+
+void Scheduler::handle_node_fault(const faults::NodeFaultEvent& ev) {
+  if (ev.kind == faults::FaultKind::NodeRestore) {
+    // A node outside the managed range restores nothing here; only
+    // re-run the pass when the allocator actually got a node back.
+    if (allocator_.set_available(ev.node, true)) schedule_pass();
+    return;
+  }
+
+  const bool managed = allocator_.set_available(ev.node, false);
+  if (ev.kind == faults::FaultKind::NodeDrain || !managed) return;
+
+  // Crash: every running job holding the node loses its work and goes
+  // back to the queue. Victims are collected first (requeue mutates
+  // running_), then requeued in job-id order for determinism.
+  std::vector<JobId> victims;
+  // rush-analyze: allow(unordered-iter) victims are sorted before use
+  for (JobId id : running_) {
+    const Job& r = jobs_.at(id);
+    if (std::binary_search(r.nodes.begin(), r.nodes.end(), ev.node)) victims.push_back(id);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (JobId id : victims) requeue(id, ev.node);
+  if (!victims.empty()) schedule_pass();
+}
+
+void Scheduler::requeue(JobId id, cluster::NodeId failed_node) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Running);
+  execution_.abort(job.run_id);
+  allocator_.release(job.nodes);
+  running_.erase(id);
+
+  job.state = JobState::Pending;
+  job.nodes.clear();
+  job.run_id = 0;
+  job.start_s = -1.0;
+  job.backfilled = false;
+  job.last_delay_s = -1.0;  // a fresh placement deserves a fresh oracle look
+  ++job.requeues;
+  ++total_requeues_;
+  if (metric_requeues_) metric_requeues_->inc();
+  if (config_.trace != nullptr)
+    config_.trace->emit_fault_job_requeue(engine_.now(), job.id, failed_node, job.requeues);
+  insert_in_queue(id);
 }
 
 void Scheduler::apply_skip_placement(JobId id) {

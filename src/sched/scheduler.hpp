@@ -26,6 +26,11 @@
 #include "sched/oracle.hpp"
 #include "sched/policy.hpp"
 
+namespace rush::faults {
+class FaultInjector;
+struct NodeFaultEvent;
+}  // namespace rush::faults
+
 namespace rush::obs {
 class Counter;
 class EventTrace;
@@ -61,6 +66,13 @@ struct SchedulerConfig {
   /// outlive the scheduler.
   obs::EventTrace* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional fault injector (faults/injector.hpp). When set, the
+  /// scheduler subscribes to its node events: a crash takes the node out
+  /// of the allocator and requeues the job running on it, a drain only
+  /// excludes the node from future placements, a restore returns it.
+  /// Must outlive the scheduler. Null (the default) leaves scheduling
+  /// behavior byte-identical to a fault-free build.
+  faults::FaultInjector* faults = nullptr;
 };
 
 class Scheduler {
@@ -109,6 +121,8 @@ class Scheduler {
   /// Total Algorithm-2 delays issued across all jobs.
   [[nodiscard]] std::uint64_t total_skips() const noexcept { return total_skips_; }
   [[nodiscard]] std::uint64_t passes_run() const noexcept { return passes_; }
+  /// Jobs put back in the queue because a node crashed under them.
+  [[nodiscard]] std::uint64_t total_requeues() const noexcept { return total_requeues_; }
 
   /// Run one scheduling pass now (normally driven by submit/complete).
   void schedule_pass();
@@ -120,6 +134,9 @@ class Scheduler {
   StartOutcome try_start(JobId id, bool via_backfill);
   void launch(Job& job, cluster::NodeSet nodes, bool via_backfill);
   void handle_completion(JobId id, const apps::RunRecord& record);
+  void handle_node_fault(const faults::NodeFaultEvent& ev);
+  /// Abort + release + re-enqueue a running job whose node died.
+  void requeue(JobId id, cluster::NodeId failed_node);
   void insert_in_queue(JobId id);
   void apply_skip_placement(JobId id);
   void arm_retry();
@@ -150,6 +167,7 @@ class Scheduler {
   double last_end_s_ = 0.0;
   std::uint64_t total_skips_ = 0;
   std::uint64_t passes_ = 0;
+  std::uint64_t total_requeues_ = 0;
   bool in_pass_ = false;
   bool pass_requested_ = false;
   bool retry_armed_ = false;
@@ -162,6 +180,7 @@ class Scheduler {
   obs::Counter* metric_launches_ = nullptr;
   obs::Counter* metric_backfills_ = nullptr;
   obs::Counter* metric_skips_ = nullptr;
+  obs::Counter* metric_requeues_ = nullptr;  // registered only with faults attached
   obs::Histogram* metric_queue_depth_ = nullptr;
   obs::Histogram* metric_slowdown_ = nullptr;
 };

@@ -1,5 +1,7 @@
 #include "telemetry/features.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "telemetry/schema.hpp"
 
@@ -85,6 +87,19 @@ void FeatureAssembler::counters_into(sim::Time now, AggregationScope scope,
     out[i++] = a.max;
     out[i++] = a.mean;
   }
+}
+
+StalenessReport FeatureAssembler::staleness(sim::Time now) const noexcept {
+  StalenessReport report;
+  if (store_.frame_count() == 0) {
+    report.newest_frame_age_s = std::numeric_limits<double>::infinity();
+    return report;
+  }
+  const sim::Time t0 = now - window_s_;
+  report.newest_frame_age_s = now - store_.latest_time();
+  report.frames_in_window = store_.frames_in(t0, now);
+  report.corrupt_frames_in_window = store_.corrupt_frames_in(t0, now);
+  return report;
 }
 
 void FeatureAssembler::tail_into(const CanaryResult& canary, WorkloadClass cls,

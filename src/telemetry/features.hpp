@@ -28,6 +28,19 @@ const char* workload_class_name(WorkloadClass cls) noexcept;
 
 enum class AggregationScope : std::uint8_t { AllNodes, JobNodes };
 
+/// Health of the counter features at a point in time: how old the newest
+/// telemetry frame is and how much of the aggregation window is present
+/// and trustworthy. Consumed by degraded-mode logic (core::RushOracle)
+/// to decide when counter features cannot be trusted.
+struct StalenessReport {
+  /// Age of the newest retained frame; +inf when the store is empty.
+  double newest_frame_age_s = 0.0;
+  /// Frames inside the look-back window [now - window_s, now].
+  std::size_t frames_in_window = 0;
+  /// Window frames that carried quarantined (non-finite) readings.
+  std::size_t corrupt_frames_in_window = 0;
+};
+
 class FeatureAssembler {
  public:
   static constexpr std::size_t kCounterFeatures = 270;
@@ -68,6 +81,9 @@ class FeatureAssembler {
   /// The 12 trailing features (9 canary aggregates + 3-way class
   /// one-hot) into `out`.
   static void tail_into(const CanaryResult& canary, WorkloadClass cls, std::span<double> out);
+
+  /// Staleness of the counter features as of `now` (see StalenessReport).
+  [[nodiscard]] StalenessReport staleness(sim::Time now) const noexcept;
 
   [[nodiscard]] double window_s() const noexcept { return window_s_; }
   [[nodiscard]] const CounterStore& store() const noexcept { return store_; }

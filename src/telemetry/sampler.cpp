@@ -1,5 +1,7 @@
 #include "telemetry/sampler.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 #include "sim/engine.hpp"
 #include "obs/metrics.hpp"
@@ -35,7 +37,16 @@ void CounterSampler::set_obs(obs::EventTrace* trace, obs::MetricsRegistry* metri
       metrics ? &metrics->histogram("telemetry.max_link_util", 0.0, 2.0, 40) : nullptr;
 }
 
+// rush-lint: allow(missing-expects) empty hooks detach
+void CounterSampler::set_fault_hooks(FrameDropFilter drop, FrameCorruptFn corrupt) {
+  drop_filter_ = std::move(drop);
+  corrupt_fn_ = std::move(corrupt);
+}
+
 void CounterSampler::sample_now() {
+  // A dropped frame never synthesizes: the daemon was down, so its RNG
+  // draws never happen and the store keeps a gap for this tick.
+  if (drop_filter_ && drop_filter_(engine_.now())) return;
   const auto schema = counter_schema();
   const auto& tree = net_.tree();
   const auto& nodes = store_.managed_nodes();
@@ -69,6 +80,7 @@ void CounterSampler::sample_now() {
     for (const CounterDef& def : schema)
       *out++ = static_cast<float>(synth_value(def, s, rng_));
   }
+  if (corrupt_fn_) corrupt_fn_(engine_.now(), nodes, std::span<float>(scratch_));
   store_.add_frame(engine_.now(), scratch_);
 
   if (metric_worst_util_) metric_worst_util_->record(worst_util);

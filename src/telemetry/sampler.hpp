@@ -7,6 +7,9 @@
 // jobs), which keeps multi-month simulations cheap.
 #pragma once
 
+#include <functional>
+#include <span>
+
 #include "cluster/lustre.hpp"
 #include "cluster/network.hpp"
 #include "common/rng.hpp"
@@ -49,6 +52,16 @@ class CounterSampler {
   /// inputs are valid.
   void set_obs(obs::EventTrace* trace, obs::MetricsRegistry* metrics);
 
+  /// Fault-injection hooks (installed by faults::FaultInjector). The
+  /// drop filter runs before a frame is synthesized: returning true
+  /// discards the whole tick — the daemon was down, so no values are
+  /// synthesized (no RNG draws) and the store gets a gap. The corrupt
+  /// mutator runs on the synthesized node-major values just before they
+  /// reach the store. Either hook may be empty (that hook detaches).
+  using FrameDropFilter = std::function<bool(sim::Time)>;
+  using FrameCorruptFn = std::function<void(sim::Time, const cluster::NodeSet&, std::span<float>)>;
+  void set_fault_hooks(FrameDropFilter drop, FrameCorruptFn corrupt);
+
  private:
   sim::Engine& engine_;
   const cluster::NetworkModel& net_;
@@ -59,6 +72,8 @@ class CounterSampler {
   sim::EventId task_ = 0;
   bool running_ = false;
   std::vector<float> scratch_;
+  FrameDropFilter drop_filter_;
+  FrameCorruptFn corrupt_fn_;
 
   obs::EventTrace* trace_ = nullptr;
   obs::Histogram* metric_worst_util_ = nullptr;  // owned by the registry

@@ -44,7 +44,20 @@ void CounterStore::add_frame(sim::Time t, std::span<const float> values) {
 
   Frame frame;
   frame.t = t;
-  frame.values.assign(values.begin(), values.end());
+  // Quarantine non-finite readings at ingest: store 0 and count them, so
+  // every aggregate below (and the prefix-sum chain the audit checks)
+  // stays finite while the corruption remains visible to
+  // corrupt_frames_in() consumers.
+  frame.values.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    if (std::isfinite(v)) {
+      frame.values[i] = v;
+    } else {
+      frame.values[i] = 0.0f;
+      ++frame.corrupt_values;
+    }
+  }
   frame.all_min.assign(num_counters_, std::numeric_limits<float>::max());
   frame.all_max.assign(num_counters_, std::numeric_limits<float>::lowest());
   frame.all_sum.assign(num_counters_, 0.0);
@@ -106,6 +119,9 @@ void CounterStore::audit_invariants() const {
     double sum = 0.0;
     for (std::size_t n = 0; n < managed_.size(); ++n) {
       const float v = f.values[n * num_counters_ + c];
+      // Ingest quarantine replaces non-finite readings, so stored values
+      // are finite by construction.
+      RUSH_AUDIT_CHECK(std::isfinite(v), "non-finite stored value escaped ingest quarantine");
       mn = std::min(mn, v);
       mx = std::max(mx, v);
       sum += static_cast<double>(v);
@@ -121,6 +137,19 @@ void CounterStore::audit_invariants() const {
 std::size_t CounterStore::frames_in(sim::Time t0, sim::Time t1) const noexcept {
   const auto [lo, hi] = window_bounds(t0, t1);
   return hi - lo;
+}
+
+sim::Time CounterStore::latest_time() const {
+  RUSH_EXPECTS(!frames_.empty());
+  return frames_.back().t;
+}
+
+std::size_t CounterStore::corrupt_frames_in(sim::Time t0, sim::Time t1) const noexcept {
+  const auto [lo, hi] = window_bounds(t0, t1);
+  std::size_t count = 0;
+  for (std::size_t fi = lo; fi < hi; ++fi)
+    if (frames_[fi].corrupt_values > 0) ++count;
+  return count;
 }
 
 std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,

@@ -39,12 +39,22 @@ class CounterStore {
 
   /// Append one frame at time `t` (must be >= the previous frame's time).
   /// `values` is node-major: values[node_index * num_counters + counter].
+  ///
+  /// Non-finite readings (a corrupted sampler, see faults/) are
+  /// quarantined at ingest: each NaN/inf is stored as 0 and counted on
+  /// the frame, so aggregates and prefix sums stay finite while
+  /// corrupt_frames_in() keeps the corruption detectable downstream.
   void add_frame(sim::Time t, std::span<const float> values);
 
   [[nodiscard]] std::size_t num_counters() const noexcept { return num_counters_; }
   [[nodiscard]] const cluster::NodeSet& managed_nodes() const noexcept { return managed_; }
   [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
   [[nodiscard]] std::size_t frames_in(sim::Time t0, sim::Time t1) const noexcept;
+  /// Timestamp of the newest retained frame; frame_count() must be > 0.
+  [[nodiscard]] sim::Time latest_time() const;
+  /// Frames with t in [t0, t1] that had at least one reading quarantined
+  /// at ingest (see add_frame).
+  [[nodiscard]] std::size_t corrupt_frames_in(sim::Time t0, sim::Time t1) const noexcept;
   /// Monotonic content version: bumped by every add_frame and clear.
   /// Lets consumers (the oracle's counter-feature cache) detect that a
   /// window query over unchanged content must return unchanged results.
@@ -87,6 +97,7 @@ class CounterStore {
   friend struct AuditTestPeer;
   struct Frame {
     sim::Time t;
+    std::uint32_t corrupt_values = 0;    // readings quarantined at ingest
     std::vector<float> values;           // managed x counters, node-major
     std::vector<float> all_min, all_max;  // per counter
     std::vector<double> all_sum;          // per counter (for exact means)

@@ -1,0 +1,10 @@
+// Fixture: faults reaching up into sched is a layer violation (the real
+// dependency points the other way), and the mutual include is a cycle.
+#pragma once
+
+#include "sched/hook.hpp"
+#include "sim/clock.hpp"
+
+namespace faults {
+inline int injector_fixture() { return sim::clock_fixture() + sched::hook_fixture(); }
+}  // namespace faults

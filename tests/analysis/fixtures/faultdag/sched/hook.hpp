@@ -1,0 +1,9 @@
+// Fixture: sched may include faults (allowed direction), but together
+// with faults/injector.hpp this forms a file-level include cycle.
+#pragma once
+
+#include "faults/injector.hpp"
+
+namespace sched {
+inline int hook_fixture() { return faults::injector_fixture() != 0 ? 1 : 2; }
+}  // namespace sched

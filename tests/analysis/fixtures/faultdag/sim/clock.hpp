@@ -1,0 +1,6 @@
+// Fixture: a clean downward dependency for faults.
+#pragma once
+
+namespace sim {
+inline int clock_fixture() { return 0; }
+}  // namespace sim

@@ -111,6 +111,17 @@ TEST(AnalyzeLayerDag, UpwardAndUndeclaredIncludesAreFindingsSuppressionWorks) {
             }));
 }
 
+TEST(AnalyzeLayerDag, FaultsSitsBelowSchedAndCyclesAreCaught) {
+  // The faults module may depend downward (sim) but not upward (sched);
+  // the mutual include between the two fixture headers is also a cycle.
+  const ra::AnalyzeResult r = run("faultdag", {"layer-dag", "include-cycle"});
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"faults/injector.hpp", "sched/hook.hpp"},              // upward include
+                {"sched/hook.hpp", "sched/hook.hpp->faults/injector.hpp"},  // cycle back edge
+            }));
+}
+
 TEST(AnalyzeLayerDag, RushDagIsAcyclicAndClosed) {
   const ra::LayerDag& dag = ra::rush_layer_dag();
   // Closed: every allowed dependency is itself a declared module.
@@ -227,6 +238,7 @@ TEST(AnalyzeFullCatalogue, FixtureTreesProduceExactlyTheSeededFindings) {
   EXPECT_EQ(run("hygiene").findings.size(), 7u);      // 1 guard + 3 defs + 2 redundant + 1 unused
   EXPECT_EQ(run("layering").findings.size(), 2u);
   EXPECT_EQ(run("cycle").findings.size(), 1u);
+  EXPECT_EQ(run("faultdag").findings.size(), 2u);  // 1 upward include + 1 cycle
 }
 
 // -------------------------------------------------------------- baseline

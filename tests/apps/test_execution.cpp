@@ -231,5 +231,47 @@ TEST(Execution, LaunchRejectsEmptyNodeSet) {
                PreconditionError);
 }
 
+TEST(Execution, AbortNeverCompletesAndRemovesTraffic) {
+  // The node-crash requeue path: an aborted run must not fire its
+  // completion callback, and its traffic must leave the fabric.
+  World w;
+  bool completed = false;
+  const ExecutionModel::RunId id = w.exec->launch(
+      test_app(0.5, 2.0), {0, 1, 2, 3}, ScalingMode::Strong,
+      [&](const RunRecord&) { completed = true; });
+  w.engine.schedule_at(30.0, [&] { w.exec->abort(id); });
+  w.engine.run();
+
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(w.exec->running_count(), 0u);
+  EXPECT_DOUBLE_EQ(w.net.link_load_gbps(w.tree.node_link(0)), 0.0);
+}
+
+TEST(Execution, AbortSpeedsUpSurvivors) {
+  World w;
+  std::optional<RunRecord> record;
+  auto heavy = test_app(0.5, 6.0);
+  heavy.base_runtime_s = 1000.0;  // would contend for the victim's whole life
+  auto light = test_app(0.5, 0.5);
+  light.base_runtime_s = 150.0;
+  const ExecutionModel::RunId noisy =
+      w.exec->launch(heavy, {4, 5, 6, 7, 8, 9}, ScalingMode::Strong, nullptr);
+  w.exec->launch(light, {2, 3, 10, 11}, ScalingMode::Strong,
+                 [&](const RunRecord& r) { record = r; });
+
+  // Kill the noisy neighbor early; the survivor must finish close to its
+  // uncontended time.
+  w.engine.schedule_at(10.0, [&] { w.exec->abort(noisy); });
+  w.engine.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_GT(record->slowdown(), 1.0);
+  EXPECT_LT(record->duration_s, 165.0);
+}
+
+TEST(Execution, AbortOfUnknownRunIsRejected) {
+  World w;
+  EXPECT_THROW(w.exec->abort(12345), PreconditionError);
+}
+
 }  // namespace
 }  // namespace rush::apps

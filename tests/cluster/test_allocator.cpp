@@ -142,5 +142,61 @@ TEST_P(AllocatorChurnTest, NeverDoubleAllocates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurnTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+TEST(Allocator, SetAvailableTakesNodesOutOfNewPlacements) {
+  NodeAllocator alloc(range(0, 8));
+  EXPECT_TRUE(alloc.set_available(3, false));
+  EXPECT_FALSE(alloc.is_available(3));
+  EXPECT_EQ(alloc.free_count(), 7);
+  EXPECT_EQ(alloc.unavailable_count(), 1);
+
+  const auto a = alloc.allocate(7);
+  ASSERT_TRUE(a.has_value());
+  for (NodeId n : *a) EXPECT_NE(n, 3);
+  EXPECT_FALSE(alloc.allocate(1).has_value());  // only node 3 left, and it is out
+
+  EXPECT_TRUE(alloc.set_available(3, true));
+  EXPECT_EQ(alloc.free_count(), 1);
+  const auto b = alloc.allocate(1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 3);
+}
+
+TEST(Allocator, SetAvailableIsIdempotentAndIgnoresUnmanagedNodes) {
+  NodeAllocator alloc(range(0, 8));
+  // Broadcasting a cluster-wide fault: unmanaged nodes report false.
+  EXPECT_FALSE(alloc.set_available(99, false));
+  EXPECT_EQ(alloc.free_count(), 8);
+
+  EXPECT_TRUE(alloc.set_available(2, false));
+  EXPECT_TRUE(alloc.set_available(2, false));  // second crash: no double-count
+  EXPECT_EQ(alloc.free_count(), 7);
+  EXPECT_EQ(alloc.unavailable_count(), 1);
+  EXPECT_TRUE(alloc.set_available(2, true));
+  EXPECT_TRUE(alloc.set_available(2, true));
+  EXPECT_EQ(alloc.free_count(), 8);
+  EXPECT_EQ(alloc.unavailable_count(), 0);
+}
+
+TEST(Allocator, ReleaseParksNodesThatWentOutWhileAllocated) {
+  NodeAllocator alloc(range(0, 8));
+  const auto a = alloc.allocate(4);  // nodes 0-3
+  ASSERT_TRUE(a.has_value());
+
+  // Node 1 crashes mid-run: it stays bound to the job until release...
+  EXPECT_TRUE(alloc.set_available(1, false));
+  EXPECT_EQ(alloc.free_count(), 4);
+
+  // ...then parks instead of rejoining the free pool.
+  alloc.release(*a);
+  EXPECT_EQ(alloc.free_count(), 7);
+  EXPECT_EQ(alloc.unavailable_count(), 1);
+  EXPECT_FALSE(alloc.is_free(1));
+
+  const auto b = alloc.allocate(7);
+  ASSERT_TRUE(b.has_value());
+  for (NodeId n : *b) EXPECT_NE(n, 1);
+  alloc.audit_invariants();
+}
+
 }  // namespace
 }  // namespace rush::cluster

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/error.hpp"
@@ -127,6 +129,47 @@ TEST(Features, WorkloadClassNames) {
 TEST(Features, RejectsBadWindow) {
   CounterStore store({0}, num_counters(), 4);
   EXPECT_THROW(FeatureAssembler(store, 0.0), PreconditionError);
+}
+
+TEST(Features, StalenessOnEmptyStoreIsInfinite) {
+  CounterStore store({0}, num_counters(), 4);
+  const FeatureAssembler assembler(store, 300.0);
+  const StalenessReport report = assembler.staleness(1000.0);
+  EXPECT_TRUE(std::isinf(report.newest_frame_age_s));
+  EXPECT_EQ(report.frames_in_window, 0u);
+  EXPECT_EQ(report.corrupt_frames_in_window, 0u);
+}
+
+TEST(Features, StalenessTracksFrameAgeAndWindowPopulation) {
+  CounterStore store({0}, num_counters(), 8);
+  const FeatureAssembler assembler(store, 300.0);
+  const std::vector<float> values(num_counters(), 1.0F);
+  store.add_frame(200.0, values);
+  store.add_frame(400.0, values);
+
+  // Fresh data: both frames sit inside the [130, 430] look-back window.
+  StalenessReport report = assembler.staleness(430.0);
+  EXPECT_DOUBLE_EQ(report.newest_frame_age_s, 30.0);
+  EXPECT_EQ(report.frames_in_window, 2u);
+
+  // A sampler dropout later: the newest frame ages out of trust range
+  // and the look-back window empties.
+  report = assembler.staleness(900.0);
+  EXPECT_DOUBLE_EQ(report.newest_frame_age_s, 500.0);
+  EXPECT_EQ(report.frames_in_window, 0u);
+}
+
+TEST(Features, StalenessSurfacesCorruptFrames) {
+  CounterStore store({0}, num_counters(), 8);
+  const FeatureAssembler assembler(store, 300.0);
+  std::vector<float> values(num_counters(), 1.0F);
+  store.add_frame(100.0, values);
+  values[3] = std::numeric_limits<float>::quiet_NaN();
+  store.add_frame(130.0, values);
+
+  const StalenessReport report = assembler.staleness(200.0);
+  EXPECT_EQ(report.frames_in_window, 2u);
+  EXPECT_EQ(report.corrupt_frames_in_window, 1u);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <initializer_list>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -192,6 +194,36 @@ TEST_F(StoreTest, PreconditionViolations) {
   EXPECT_THROW(CounterStore(nodes3(), 0, 4), PreconditionError);
   EXPECT_THROW(CounterStore(nodes3(), 3, 0), PreconditionError);
   EXPECT_THROW(CounterStore({}, 3, 4), PreconditionError);
+}
+
+TEST_F(StoreTest, NonFiniteReadingsAreQuarantinedAtIngest) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  store_.add_frame(10.0, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  store_.add_frame(20.0, frame({1, nan, 3, 4, 5, inf, 7, 8, 9}));
+
+  // Aggregates stay finite: corrupt cells ingest as 0.
+  const auto aggs = store_.aggregate_all(0.0, 30.0);
+  for (const Agg& a : aggs) {
+    EXPECT_TRUE(std::isfinite(a.min));
+    EXPECT_TRUE(std::isfinite(a.max));
+    EXPECT_TRUE(std::isfinite(a.mean));
+  }
+  EXPECT_DOUBLE_EQ(aggs[1].min, 0.0);  // the NaN cell became the minimum
+
+  // ...but the corruption stays visible to staleness consumers.
+  EXPECT_EQ(store_.corrupt_frames_in(0.0, 30.0), 1u);
+  EXPECT_EQ(store_.corrupt_frames_in(0.0, 15.0), 0u);
+  EXPECT_EQ(store_.corrupt_frames_in(15.0, 30.0), 1u);
+}
+
+TEST_F(StoreTest, CorruptFrameCountSurvivesUntilEviction) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  store_.add_frame(10.0, frame({1, nan, 3, 4, 5, 6, 7, 8, 9}));
+  for (int i = 0; i < 4; ++i)  // capacity 4: pushes the corrupt frame out
+    store_.add_frame(20.0 + i, frame({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(store_.frame_count(), 4u);
+  EXPECT_EQ(store_.corrupt_frames_in(0.0, 100.0), 0u);
 }
 
 }  // namespace

@@ -35,6 +35,9 @@ SCHEMA_VERSION = 1
 KNOWN_EVENTS = {
     "trial_start", "trial_end", "job_submit", "job_start", "job_end",
     "alloc_decision", "alg2_skip", "predict", "congestion",
+    "fault_node_down", "fault_node_restore", "fault_link_degrade",
+    "fault_link_restore", "fault_sampler_dropout", "fault_counter_corrupt",
+    "fault_canary_timeout", "fault_job_requeue", "fault_oracle_fallback",
 }
 EVENT_FIELDS = {
     "trial_start": {"policy", "seed"},
@@ -46,6 +49,17 @@ EVENT_FIELDS = {
     "alg2_skip": {"job", "prediction", "skip_count", "skip_threshold"},
     "predict": {"job", "label", "feature_hash"},
     "congestion": {"start_s", "link", "peak_util"},
+    # Fault-injection records (docs/fault-injection.md); only present in
+    # runs given a --faults plan.
+    "fault_node_down": {"node", "drain", "duration_s"},
+    "fault_node_restore": {"node"},
+    "fault_link_degrade": {"link", "factor", "duration_s"},
+    "fault_link_restore": {"link"},
+    "fault_sampler_dropout": {"node", "until_s"},
+    "fault_counter_corrupt": {"node", "until_s"},
+    "fault_canary_timeout": {"node", "until_s"},
+    "fault_job_requeue": {"job", "node", "requeues"},
+    "fault_oracle_fallback": {"job", "reason", "label"},
 }
 
 
@@ -71,6 +85,10 @@ class Trial:
         # (label, varied?) -> count
         self.confusion: dict[tuple[str, bool], int] = {}
         self.job_slowdown: dict[int, float] = {}
+        # fault record kind -> count (empty for zero-fault runs)
+        self.faults: dict[str, int] = {}
+        # fallback reason -> count
+        self.fallback_reasons: dict[str, int] = {}
 
 
 def parse_records(path: Path):
@@ -159,6 +177,12 @@ def analyze(path: Path, slowdown_threshold: float) -> list[Trial]:
             entry = current.links.setdefault(rec["link"], [0, 0.0])
             entry[0] += 1
             entry[1] = max(entry[1], rec["peak_util"])
+        elif ev.startswith("fault_"):
+            current.faults[ev] = current.faults.get(ev, 0) + 1
+            if ev == "fault_oracle_fallback":
+                reason = rec["reason"]
+                current.fallback_reasons[reason] = (
+                    current.fallback_reasons.get(reason, 0) + 1)
     return trials
 
 
@@ -184,6 +208,14 @@ def print_report(trials: list[Trial], slowdown_threshold: float,
             print("  prediction outcomes (label / actually varied: count):")
             for (label, varied), n in sorted(trial.confusion.items()):
                 print(f"    {label:>16} / {'varied' if varied else 'steady':>6}: {n}")
+        if trial.faults:
+            parts = [f"{kind.removeprefix('fault_')}: {n}"
+                     for kind, n in sorted(trial.faults.items())]
+            print(f"  faults: {'; '.join(parts)}")
+            if trial.fallback_reasons:
+                reasons = [f"{r}: {n}"
+                           for r, n in sorted(trial.fallback_reasons.items())]
+                print(f"  oracle fallback reasons: {'; '.join(reasons)}")
         print()
 
 
