@@ -27,6 +27,14 @@
 #include "ml/knn.hpp"
 #include "ml/tree.hpp"
 
+// GCC pairs the malloc-backed replacement operator new with the
+// replacement operator delete across inlining and misreports the pair
+// as mismatched (it sees the free() inside); the replacement is exactly
+// the supported global-override idiom.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 namespace {
 // Global allocation counter. Single-threaded benchmarks, so a plain
 // counter is enough; volatile-free reads are fine.

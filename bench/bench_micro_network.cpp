@@ -23,6 +23,14 @@
 #include "cluster/topology.hpp"
 #include "common/rng.hpp"
 
+// GCC pairs the malloc-backed replacement operator new with the
+// replacement operator delete across inlining and misreports the pair
+// as mismatched (it sees the free() inside); the replacement is exactly
+// the supported global-override idiom.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 namespace {
 // Global allocation counter. Single-threaded benchmarks, so a plain
 // counter is enough; volatile-free reads are fine.

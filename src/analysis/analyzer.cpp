@@ -105,6 +105,7 @@ AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
     if (enabled("unordered-iter")) {
       check_unordered_iter(f, by_dir.at(dir_of(f.rel)), all);
     }
+    if (enabled("sched-linear-scan")) check_sched_linear_scan(f, all);
     if (enabled("pragma-once")) check_pragma_once(f, all);
     if (enabled("header-def")) check_header_def(f, all);
     if (enabled("redundant-include")) {

@@ -84,6 +84,10 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"unordered-iter",
        "(sim/, sched/, core/) range-for over an unordered container member "
        "feeds unspecified order into deterministic output"},
+      {"sched-linear-scan",
+       "(sched/) std::find/find_if/count/remove over a member container is a "
+       "linear scan in the scheduling hot path; binary-search the sorted "
+       "container instead"},
       {"pragma-once", "headers must open with #pragma once"},
       {"header-def",
        "non-inline, non-template function definition at namespace scope in a "
@@ -215,6 +219,42 @@ void check_unordered_iter(const SourceFile& f,
          "iteration over unordered container '" + name + "' in a "
          "determinism-critical subsystem; iterate a sorted copy or justify "
          "with an allow marker", out);
+  }
+}
+
+void check_sched_linear_scan(const SourceFile& f, std::vector<Finding>& out) {
+  static const std::set<SV> kLinear = {"find",  "find_if", "count",
+                                       "count_if", "remove", "remove_if"};
+  if (f.module() != "sched" || stem_is(f.rel, "sched/reference_scheduler")) return;
+  const std::size_t n = f.tokens.size();
+  for (std::size_t i = 0; i + 3 < n; ++i) {
+    if (!is_ident(f, i, "std") || !is_punct(f, i + 1, "::")) continue;
+    if (!is_ident(f, i + 2) || kLinear.count(f.tok(i + 2)) == 0) continue;
+    if (!is_punct(f, i + 3, "(")) continue;
+    // Walk the balanced argument list for the first member-named operand
+    // (trailing underscore, the codebase's member convention): scans over
+    // locals and parameters are not hot-path state and stay unflagged.
+    int depth = 1;
+    std::string member;
+    for (std::size_t j = i + 4; j < n && depth > 0; ++j) {
+      if (is_punct(f, j, "(")) {
+        ++depth;
+      } else if (is_punct(f, j, ")")) {
+        --depth;
+      } else if (is_ident(f, j)) {
+        const SV id = f.tok(j);
+        if (id.size() > 1 && id.back() == '_') {
+          member = std::string(id);
+          break;
+        }
+      }
+    }
+    if (member.empty()) continue;
+    emit(f, f.tokens[i].line, "sched-linear-scan", member,
+         "std::" + std::string(f.tok(i + 2)) + " over scheduler member '" + member +
+             "' is a linear scan in the scheduling hot path; keep the container "
+             "sorted and binary-search it, or justify with an allow marker",
+         out);
   }
 }
 

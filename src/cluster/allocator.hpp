@@ -5,6 +5,16 @@
 // resource matcher) and falls back to the lowest-indexed free nodes when
 // fragmentation prevents a contiguous placement.
 //
+// Storage is three word-level (uint64_t) bitsets parallel to the managed
+// set — free / allocated / out-of-service — so the contiguous-run search
+// advances a whole word per iteration (countr_zero over bit transitions)
+// and free accounting is popcount, instead of the bit-at-a-time
+// std::vector<bool> walk this replaced. Placement order is exactly the
+// slot-index order of the old scan: the first window of `k` consecutive
+// free slots, else the lowest-indexed free slots
+// (tests/cluster/test_allocator.cpp pins this differentially against a
+// reference bitmap implementation).
+//
 // Nodes can be taken out of service (crash or drain, see faults/): an
 // out-of-service node is never handed to a new allocation. If it is
 // allocated when it goes out, it stays bound to its job until release —
@@ -12,6 +22,7 @@
 // (drain) — and then parks instead of returning to the free pool.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "cluster/topology.hpp"
@@ -50,22 +61,42 @@ class NodeAllocator {
   [[nodiscard]] bool is_free(NodeId node) const;
   [[nodiscard]] const NodeSet& managed_nodes() const noexcept { return managed_; }
 
-  /// Re-derives the allocation bitmap bookkeeping and throws AuditError on
-  /// corruption: managed_ stays sorted/unique, the bitmaps stay parallel
-  /// to it, free_count_ equals the number of set bits, and every slot is
-  /// in exactly one of the free / allocated / parked-out states
-  /// (free_[i] == !allocated_[i] && !out_[i]). Called automatically after
-  /// every mutation in RUSH_AUDIT builds.
+  /// Re-derives the allocation bitset bookkeeping and throws AuditError on
+  /// corruption: managed_ stays sorted/unique, the word bitsets stay
+  /// parallel to it with no stray bits past the managed count, free_count_
+  /// equals the free popcount, and every slot is in exactly one of the
+  /// free / allocated / parked-out states (free == !allocated && !out).
+  /// Called automatically after every mutation in RUSH_AUDIT builds.
   void audit_invariants() const;
 
  private:
   friend struct AuditTestPeer;
   [[nodiscard]] std::optional<std::size_t> find_index(NodeId node) const noexcept;
 
-  NodeSet managed_;              // sorted
-  std::vector<bool> free_;       // parallel to managed_
-  std::vector<bool> allocated_;  // bound to a live allocation
-  std::vector<bool> out_;        // out of service (crash/drain)
+  [[nodiscard]] bool test(const std::vector<std::uint64_t>& words,
+                          std::size_t slot) const noexcept {
+    return (words[slot >> 6] >> (slot & 63)) & 1u;
+  }
+  static void set_bit(std::vector<std::uint64_t>& words, std::size_t slot) noexcept {
+    words[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  }
+  static void clear_bit(std::vector<std::uint64_t>& words, std::size_t slot) noexcept {
+    words[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+
+  /// First slot >= `from` whose free bit is set, or the managed count.
+  [[nodiscard]] std::size_t next_free(std::size_t from) const noexcept;
+  /// First slot >= `from` whose free bit is clear, or the managed count.
+  [[nodiscard]] std::size_t next_used(std::size_t from) const noexcept;
+  /// Marks [begin, end) allocated and appends the managed node ids.
+  void take_run(std::size_t begin, std::size_t end, NodeSet& out);
+
+  NodeSet managed_;  // sorted
+  // Parallel word bitsets over managed_ slots; bits past managed_.size()
+  // in the last word stay zero.
+  std::vector<std::uint64_t> free_;       // available for new placements
+  std::vector<std::uint64_t> allocated_;  // bound to a live allocation
+  std::vector<std::uint64_t> out_;        // out of service (crash/drain)
   int free_count_ = 0;
 };
 

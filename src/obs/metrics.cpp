@@ -8,10 +8,22 @@
 
 namespace rush::obs {
 
-Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+Histogram::Histogram(double lo, double hi, std::size_t buckets, HistogramScale scale)
+    : lo_(lo), hi_(hi), scale_(scale) {
   RUSH_EXPECTS(hi > lo);
   RUSH_EXPECTS(buckets > 0);
+  RUSH_EXPECTS(scale != HistogramScale::Log2 || lo > 0.0);
+  if (scale_ == HistogramScale::Log2) {
+    log_lo_ = std::log2(lo_);
+    log_hi_ = std::log2(hi_);
+  }
   buckets_.assign(buckets + 2, 0);  // + underflow/overflow
+}
+
+double Histogram::bucket_lower(std::size_t i) const noexcept {
+  if (scale_ == HistogramScale::Log2)
+    return std::exp2(log_lo_ + static_cast<double>(i - 1) * log_width());
+  return lo_ + static_cast<double>(i - 1) * bucket_width();
 }
 
 void Histogram::record(double v) noexcept {
@@ -31,6 +43,9 @@ void Histogram::record(double v) noexcept {
     idx = 0;
   } else if (v >= hi_) {
     idx = buckets_.size() - 1;
+  } else if (scale_ == HistogramScale::Log2) {
+    idx = 1 + static_cast<std::size_t>((std::log2(v) - log_lo_) / log_width());
+    idx = std::min(idx, buckets_.size() - 2);  // guard log rounding at the edges
   } else {
     idx = 1 + static_cast<std::size_t>((v - lo_) / bucket_width());
     idx = std::min(idx, buckets_.size() - 2);  // guard v == hi_ - epsilon rounding
@@ -89,10 +104,14 @@ double Histogram::percentile_locked(double q) const {
     if (cumulative < rank) continue;
     if (i == 0) return observed_min_;                   // underflow bucket
     if (i == buckets_.size() - 1) return observed_max_; // overflow bucket
-    const double b_lo = lo_ + static_cast<double>(i - 1) * bucket_width();
     const double frac =
         buckets_[i] == 0 ? 0.0 : (rank - prev) / static_cast<double>(buckets_[i]);
-    const double v = b_lo + frac * bucket_width();
+    // Interpolate in the space the buckets are laid out in: linearly for
+    // Uniform, geometrically (linear in log2) for Log2.
+    const double v =
+        scale_ == HistogramScale::Log2
+            ? std::exp2(log_lo_ + (static_cast<double>(i - 1) + frac) * log_width())
+            : bucket_lower(i) + frac * bucket_width();
     return std::clamp(v, observed_min_, observed_max_);
   }
   return observed_max_;
@@ -113,10 +132,10 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
-                                      std::size_t buckets) {
+                                      std::size_t buckets, HistogramScale scale) {
   const std::scoped_lock lock(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(lo, hi, buckets);
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, buckets, scale);
   return *slot;
 }
 

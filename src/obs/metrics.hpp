@@ -49,13 +49,25 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed uniform-bucket histogram over [lo, hi) with underflow/overflow
-/// buckets. Records are O(1) behind an internal mutex; percentile()
-/// interpolates linearly inside the containing bucket, which is exact for
-/// uniform data and within one bucket width otherwise.
+/// Bucket-boundary layout of a Histogram. Uniform splits [lo, hi) into
+/// equal-width buckets; Log2 splits it geometrically (equal width in
+/// log2 space), so a fixed bucket count covers several orders of
+/// magnitude with constant *relative* resolution — the right shape for
+/// heavy-tailed quantities like queue depth, where a uniform [0, 256)
+/// histogram clips everything beyond its hi into one overflow bucket.
+enum class HistogramScale : std::uint8_t { Uniform, Log2 };
+
+/// Fixed-bucket histogram over [lo, hi) with underflow/overflow buckets
+/// and a Uniform or Log2 bucket layout. Records are O(1) behind an
+/// internal mutex; percentile() interpolates inside the containing bucket
+/// (linearly for Uniform, geometrically for Log2), which is exact for
+/// matching-shaped data and within one bucket otherwise. Log2 requires
+/// lo > 0; samples below lo (including 0) land in the underflow bucket
+/// and still update count/sum/min/max exactly.
 class Histogram {
  public:
-  Histogram(double lo, double hi, std::size_t buckets);
+  Histogram(double lo, double hi, std::size_t buckets,
+            HistogramScale scale = HistogramScale::Uniform);
 
   void record(double v) noexcept;
   [[nodiscard]] std::uint64_t count() const noexcept;
@@ -71,6 +83,7 @@ class Histogram {
 
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] HistogramScale scale() const noexcept { return scale_; }
   /// Copy, so readers never observe a half-updated bucket array.
   [[nodiscard]] std::vector<std::uint64_t> buckets() const;
 
@@ -78,10 +91,19 @@ class Histogram {
   [[nodiscard]] double bucket_width() const noexcept {
     return (hi_ - lo_) / static_cast<double>(buckets_.size() - 2);
   }
+  /// Interior bucket width in log2 space (Log2 scale only).
+  [[nodiscard]] double log_width() const noexcept {
+    return (log_hi_ - log_lo_) / static_cast<double>(buckets_.size() - 2);
+  }
+  /// Lower edge of interior bucket i (1-based, honoring the scale).
+  [[nodiscard]] double bucket_lower(std::size_t i) const noexcept;
   [[nodiscard]] double percentile_locked(double q) const;
 
   double lo_;
   double hi_;
+  HistogramScale scale_;
+  double log_lo_ = 0.0;  // log2(lo_) / log2(hi_), precomputed for Log2
+  double log_hi_ = 0.0;
   mutable std::mutex mu_;
   // buckets_[0] = underflow, buckets_[n-1] = overflow.
   std::vector<std::uint64_t> buckets_;
@@ -105,7 +127,8 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   /// Bucket shape is fixed by the first call for a given name; later
   /// calls with the same name return the existing histogram.
-  Histogram& histogram(const std::string& name, double lo, double hi, std::size_t buckets);
+  Histogram& histogram(const std::string& name, double lo, double hi, std::size_t buckets,
+                       HistogramScale scale = HistogramScale::Uniform);
 
   /// One JSON object over every instrument, keys sorted by name:
   ///   {"counters":{...},"gauges":{...},"histograms":{"x":{"count":..,

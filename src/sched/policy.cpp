@@ -1,8 +1,25 @@
 #include "sched/policy.hpp"
 
+#include <string>
+
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace rush::sched {
+
+void audit_policy_order(const QueuePolicyBase& p, const Job& a, const Job& b) {
+  const bool ab = p.before(a, b);
+  const bool ba = p.before(b, a);
+  RUSH_AUDIT_CHECK(!p.before(a, a), "policy '" + p.name() + "' is not irreflexive");
+  RUSH_AUDIT_CHECK(!p.before(b, b), "policy '" + p.name() + "' is not irreflexive");
+  RUSH_AUDIT_CHECK(!(ab && ba), "policy '" + p.name() + "' orders jobs " +
+                                    std::to_string(a.id) + " and " + std::to_string(b.id) +
+                                    " both ways");
+  RUSH_AUDIT_CHECK(a.id == b.id || ab || ba,
+                   "policy '" + p.name() + "' leaves the tie between jobs " +
+                       std::to_string(a.id) + " and " + std::to_string(b.id) +
+                       " unbroken (missing the job-id tie-break)");
+}
 
 std::unique_ptr<QueuePolicyBase> make_policy(const std::string& name) {
   if (name == "fcfs") return std::make_unique<FcfsPolicy>();

@@ -18,7 +18,20 @@ class QueuePolicyBase {
  public:
   virtual ~QueuePolicyBase() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Strict weak ordering: true when `a` should run before `b`.
+  /// True when `a` should run before `b`.
+  ///
+  /// Ordering contract: `before` must be a strict weak ordering
+  /// (irreflexive, asymmetric, transitive) — the scheduler keeps its
+  /// ready queue sorted by it and binary-searches insert/erase
+  /// positions, which misordering would silently corrupt. It must
+  /// further be a *total* order across distinct jobs: break every tie
+  /// deterministically on `a.id < b.id` (ids are unique and stable), as
+  /// FcfsPolicy and SjfPolicy do. The tie-break is what makes queue
+  /// order, backfill candidate order, and therefore every scheduling
+  /// decision reproducible across runs and scheduler implementations.
+  /// Debug/RUSH_AUDIT builds spot-check both properties on the pairs the
+  /// scheduler actually compares (see audit_policy_order); a policy that
+  /// leaves ties unbroken throws AuditError there.
   [[nodiscard]] virtual bool before(const Job& a, const Job& b) const = 0;
   /// Scalar priority key behind `before` (smaller runs earlier), recorded
   /// in allocation-decision trace events. Defaulted so external policies
@@ -55,5 +68,13 @@ class SjfPolicy final : public QueuePolicyBase {
 };
 
 std::unique_ptr<QueuePolicyBase> make_policy(const std::string& name);
+
+/// Audit helper for the ordering contract on `before` (see
+/// QueuePolicyBase): verifies irreflexivity, asymmetry, and the
+/// deterministic id tie-break (distinct ids must order one way or the
+/// other) on one concrete pair, throwing AuditError on violation. Always
+/// compiled — tests call it directly; the scheduler hooks it into queue
+/// inserts via RUSH_AUDIT_HOOK so RUSH_AUDIT=OFF builds pay nothing.
+void audit_policy_order(const QueuePolicyBase& p, const Job& a, const Job& b);
 
 }  // namespace rush::sched

@@ -1,0 +1,392 @@
+// Pinned pre-optimization implementation — see reference_scheduler.hpp.
+// The linear scans and per-pass sorts below are the point: they are the
+// baseline bench_micro_sched measures the incremental core against, so
+// rush_analyze's sched-linear-scan rule exempts this file by name.
+#include "sched/reference_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "faults/injector.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "obs/trace.hpp"
+
+namespace rush::sched {
+
+ReferenceScheduler::ReferenceScheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
+                                       apps::ExecutionModel& execution,
+                                       std::unique_ptr<QueuePolicyBase> main_policy,
+                                       std::unique_ptr<QueuePolicyBase> backfill_policy,
+                                       SchedulerConfig config, VariabilityOracle* oracle)
+    : engine_(engine), allocator_(allocator), execution_(execution),
+      main_policy_(std::move(main_policy)), backfill_policy_(std::move(backfill_policy)),
+      config_(config), oracle_(oracle) {
+  RUSH_EXPECTS(main_policy_ != nullptr);
+  RUSH_EXPECTS(backfill_policy_ != nullptr);
+  RUSH_EXPECTS(!config_.rush_enabled || oracle_ != nullptr);
+  RUSH_EXPECTS(config_.retry_period_s > 0.0);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    metric_passes_ = &m.counter("sched.passes");
+    metric_launches_ = &m.counter("sched.launches");
+    metric_backfills_ = &m.counter("sched.backfills");
+    metric_skips_ = &m.counter("sched.skips");
+    metric_queue_depth_ = &m.histogram("sched.queue_depth", 1.0, 16384.0,
+                                       kQueueDepthBuckets, obs::HistogramScale::Log2);
+    metric_slowdown_ = &m.histogram("sched.slowdown", 1.0, 3.0, 80);
+  }
+  if (config_.faults != nullptr) {
+    // Registered only when faults are attached so a zero-fault run's
+    // metrics output stays byte-identical to a build without faults.
+    if (config_.metrics != nullptr)
+      metric_requeues_ = &config_.metrics->counter("sched.fault_requeues");
+    config_.faults->subscribe_node_events(
+        [this](const faults::NodeFaultEvent& ev) { handle_node_fault(ev); });
+  }
+}
+
+void ReferenceScheduler::insert_in_queue(JobId id) {
+  const Job& job = jobs_.at(id);
+  const auto pos = std::find_if(queue_.begin(), queue_.end(), [&](JobId other) {
+    return main_policy_->before(job, jobs_.at(other));
+  });
+  queue_.insert(pos, id);
+}
+
+JobId ReferenceScheduler::submit(JobSpec spec) {
+  RUSH_EXPECTS(spec.num_nodes > 0);
+  RUSH_EXPECTS(spec.num_nodes <= allocator_.managed_count());
+  RUSH_EXPECTS(spec.walltime_estimate_s > 0.0);
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  job.submit_s = engine_.now();
+  first_submit_s_ = std::min(first_submit_s_, job.submit_s);
+  jobs_.emplace(id, std::move(job));
+  submit_order_.push_back(id);
+  insert_in_queue(id);
+  if (config_.trace != nullptr) {
+    const Job& j = jobs_.at(id);
+    config_.trace->emit_job_submit(engine_.now(), j.id, j.app_name(), j.spec.num_nodes,
+                                   j.spec.walltime_estimate_s);
+  }
+  schedule_pass();
+  return id;
+}
+
+JobId ReferenceScheduler::submit_at(sim::Time when, JobSpec spec) {
+  RUSH_EXPECTS(when >= engine_.now());
+  // Reserve the id now so callers can correlate, but enqueue at `when`.
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  RUSH_EXPECTS(job.spec.num_nodes > 0);
+  RUSH_EXPECTS(job.spec.num_nodes <= allocator_.managed_count());
+  RUSH_EXPECTS(job.spec.walltime_estimate_s > 0.0);
+  jobs_.emplace(id, std::move(job));
+  engine_.schedule_at(when, [this, id] {
+    Job& j = jobs_.at(id);
+    j.submit_s = engine_.now();
+    first_submit_s_ = std::min(first_submit_s_, j.submit_s);
+    submit_order_.push_back(id);
+    insert_in_queue(id);
+    if (config_.trace != nullptr)
+      config_.trace->emit_job_submit(engine_.now(), j.id, j.app_name(), j.spec.num_nodes,
+                                     j.spec.walltime_estimate_s);
+    schedule_pass();
+  });
+  return id;
+}
+
+const Job& ReferenceScheduler::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  RUSH_EXPECTS(it != jobs_.end());
+  return it->second;
+}
+
+std::vector<const Job*> ReferenceScheduler::all_jobs() const {
+  std::vector<const Job*> out;
+  out.reserve(submit_order_.size());
+  for (JobId id : submit_order_) out.push_back(&jobs_.at(id));
+  return out;
+}
+
+std::vector<const Job*> ReferenceScheduler::completed_jobs() const {
+  std::vector<const Job*> out;
+  out.reserve(completed_order_.size());
+  for (JobId id : completed_order_) out.push_back(&jobs_.at(id));
+  return out;
+}
+
+double ReferenceScheduler::makespan() const noexcept {
+  // first_submit_s_ / last_end_s_ are maintained at submission and
+  // completion, so this is O(1) however many jobs ran.
+  if (completed_order_.empty() || submit_order_.empty()) return 0.0;
+  return last_end_s_ - first_submit_s_;
+}
+
+ReferenceScheduler::Reservation ReferenceScheduler::compute_reservation(const Job& job) const {
+  // Expected frees, using user walltime estimates (clamped so overrunning
+  // jobs free "now" at the earliest).
+  std::vector<std::pair<sim::Time, int>> frees;
+  frees.reserve(running_.size());
+  const sim::Time now = engine_.now();
+  // frees is fully sorted by (time, count) below, so the visit order
+  // here cannot leak into the result
+  // rush-analyze: allow(unordered-iter)
+  for (JobId id : running_) {
+    const Job& r = jobs_.at(id);
+    const sim::Time end_est = std::max(now, r.start_s + r.spec.walltime_estimate_s);
+    frees.emplace_back(end_est, static_cast<int>(r.nodes.size()));
+  }
+  std::sort(frees.begin(), frees.end());
+
+  int free = allocator_.free_count();
+  for (const auto& [t, n] : frees) {
+    free += n;
+    if (free >= job.spec.num_nodes)
+      return Reservation{t, free - job.spec.num_nodes};
+  }
+  // Job fits the machine when idle (precondition on submit), so with no
+  // running jobs we can only get here if free already sufficed — treat as
+  // "now" (the caller only reaches this when the job did not fit, which
+  // implies running jobs exist).
+  return Reservation{now, std::max(0, free - job.spec.num_nodes)};
+}
+
+ReferenceScheduler::StartOutcome ReferenceScheduler::try_start(JobId id, bool via_backfill) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Pending);
+
+  // A recently delayed job stays delayed without re-running the model;
+  // see SchedulerConfig::min_reconsider_interval_s.
+  if (config_.rush_enabled && job.last_delay_s >= 0.0 &&
+      engine_.now() - job.last_delay_s < config_.min_reconsider_interval_s) {
+    return StartOutcome::Delayed;
+  }
+
+  auto nodes = allocator_.allocate(job.spec.num_nodes);
+  if (!nodes) return StartOutcome::NoResources;
+
+  // Algorithm 2: Start(j, Q, M, S, SkipTable).
+  if (config_.rush_enabled && job.skip_count < job.spec.skip_threshold) {
+    const VariabilityPrediction pred = oracle_->predict(job, *nodes);
+    const bool delay =
+        (pred == VariabilityPrediction::Variation && config_.delay_on_variation) ||
+        (pred == VariabilityPrediction::LittleVariation && config_.delay_on_little_variation);
+    if (delay) {
+      allocator_.release(*nodes);
+      ++job.skip_count;
+      ++total_skips_;
+      job.last_delay_s = engine_.now();
+      if (metric_skips_) metric_skips_->inc();
+      if (config_.trace != nullptr)
+        config_.trace->emit_alg2_skip(engine_.now(), job.id, prediction_name(pred),
+                                      job.skip_count, job.spec.skip_threshold);
+      return StartOutcome::Delayed;
+    }
+  }
+
+  launch(job, std::move(*nodes), via_backfill);
+  return StartOutcome::Launched;
+}
+
+void ReferenceScheduler::launch(Job& job, cluster::NodeSet nodes, bool via_backfill) {
+  const auto in_queue = std::find(queue_.begin(), queue_.end(), job.id);
+  RUSH_ASSERT(in_queue != queue_.end());
+  queue_.erase(in_queue);
+
+  job.state = JobState::Running;
+  job.start_s = engine_.now();
+  job.nodes = std::move(nodes);
+  job.backfilled = via_backfill;
+  running_.insert(job.id);
+
+  const JobId id = job.id;
+  job.run_id = execution_.launch(job.spec.app, job.nodes, job.spec.scaling,
+                                 [this, id](const apps::RunRecord& record) {
+                                   handle_completion(id, record);
+                                 });
+  if (metric_launches_) metric_launches_->inc();
+  if (via_backfill && metric_backfills_) metric_backfills_->inc();
+  if (config_.trace != nullptr)
+    config_.trace->emit_job_start(engine_.now(), job.id, job.wait_s(), via_backfill, job.nodes);
+  if (start_hook_) start_hook_(job);
+}
+
+void ReferenceScheduler::handle_completion(JobId id, const apps::RunRecord& record) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Running);
+  allocator_.release(job.nodes);
+  job.state = JobState::Completed;
+  job.end_s = engine_.now();
+  last_end_s_ = std::max(last_end_s_, job.end_s);
+  job.record = record;
+  running_.erase(id);
+  completed_order_.push_back(id);
+  if (metric_slowdown_) metric_slowdown_->record(record.slowdown());
+  if (config_.trace != nullptr)
+    config_.trace->emit_job_end(engine_.now(), job.id, job.runtime_s(), record.slowdown(),
+                                job.skip_count);
+  if (complete_hook_) complete_hook_(job);
+  schedule_pass();
+}
+
+void ReferenceScheduler::handle_node_fault(const faults::NodeFaultEvent& ev) {
+  if (ev.kind == faults::FaultKind::NodeRestore) {
+    // A node outside the managed range restores nothing here; only
+    // re-run the pass when the allocator actually got a node back.
+    if (allocator_.set_available(ev.node, true)) schedule_pass();
+    return;
+  }
+
+  const bool managed = allocator_.set_available(ev.node, false);
+  if (ev.kind == faults::FaultKind::NodeDrain || !managed) return;
+
+  // Crash: every running job holding the node loses its work and goes
+  // back to the queue. Victims are collected first (requeue mutates
+  // running_), then requeued in job-id order for determinism.
+  std::vector<JobId> victims;
+  // rush-analyze: allow(unordered-iter) victims are sorted before use
+  for (JobId id : running_) {
+    const Job& r = jobs_.at(id);
+    if (std::binary_search(r.nodes.begin(), r.nodes.end(), ev.node)) victims.push_back(id);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (JobId id : victims) requeue(id, ev.node);
+  if (!victims.empty()) schedule_pass();
+}
+
+void ReferenceScheduler::requeue(JobId id, cluster::NodeId failed_node) {
+  Job& job = jobs_.at(id);
+  RUSH_ASSERT(job.state == JobState::Running);
+  execution_.abort(job.run_id);
+  allocator_.release(job.nodes);
+  running_.erase(id);
+
+  job.state = JobState::Pending;
+  job.nodes.clear();
+  job.run_id = 0;
+  job.start_s = -1.0;
+  job.backfilled = false;
+  job.last_delay_s = -1.0;  // a fresh placement deserves a fresh oracle look
+  ++job.requeues;
+  ++total_requeues_;
+  if (metric_requeues_) metric_requeues_->inc();
+  if (config_.trace != nullptr)
+    config_.trace->emit_fault_job_requeue(engine_.now(), job.id, failed_node, job.requeues);
+  insert_in_queue(id);
+}
+
+void ReferenceScheduler::apply_skip_placement(JobId id) {
+  if (config_.skip_placement != SkipPlacement::AfterFront) return;
+  // Pseudocode reading: "push j after front of Q".
+  if (queue_.size() >= 2 && queue_.front() == id) std::swap(queue_[0], queue_[1]);
+}
+
+void ReferenceScheduler::arm_retry() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  engine_.schedule_after(config_.retry_period_s, [this] {
+    retry_armed_ = false;
+    schedule_pass();
+  });
+}
+
+void ReferenceScheduler::schedule_pass() {
+  if (in_pass_) {
+    pass_requested_ = true;
+    return;
+  }
+  in_pass_ = true;
+  do {
+    pass_requested_ = false;
+    ++passes_;
+    if (metric_passes_) metric_passes_->inc();
+    if (metric_queue_depth_) metric_queue_depth_->record(static_cast<double>(queue_.size()));
+    bool any_delayed = false;
+
+    // Walk a snapshot: starts mutate queue_, and jobs delayed in this pass
+    // must not be reconsidered until the next pass.
+    const std::vector<JobId> snapshot = queue_;
+    std::unordered_set<JobId> delayed_this_pass;
+
+    for (std::size_t qi = 0; qi < snapshot.size(); ++qi) {
+      const JobId id = snapshot[qi];
+      const auto it = jobs_.find(id);
+      RUSH_ASSERT(it != jobs_.end());
+      Job& job = it->second;
+      if (job.state != JobState::Pending) continue;
+
+      if (allocator_.can_allocate(job.spec.num_nodes)) {
+        const StartOutcome outcome = try_start(id, /*via_backfill=*/false);
+        RUSH_ASSERT(outcome != StartOutcome::NoResources);
+        if (outcome == StartOutcome::Delayed) {
+          any_delayed = true;
+          delayed_this_pass.insert(id);
+          apply_skip_placement(id);
+        }
+        continue;
+      }
+
+      // Reservation for the first job that does not fit (Algorithm 1,
+      // lines 7-16), then EASY backfill of the rest in R2 order.
+      if (config_.enable_backfill) {
+        const Reservation res = compute_reservation(job);
+        std::vector<JobId> candidates;
+        for (JobId c : queue_) {
+          if (c == id || delayed_this_pass.contains(c)) continue;
+          if (jobs_.at(c).state == JobState::Pending) candidates.push_back(c);
+        }
+        std::sort(candidates.begin(), candidates.end(), [&](JobId a, JobId b) {
+          return backfill_policy_->before(jobs_.at(a), jobs_.at(b));
+        });
+
+        if (config_.trace != nullptr && config_.trace->enabled()) {
+          // Allocation decision: head job's reservation plus the scored
+          // backfill candidates (capped to keep records bounded).
+          std::vector<obs::CandidateScore> scored;
+          constexpr std::size_t kMaxScored = 8;
+          scored.reserve(std::min(candidates.size(), kMaxScored));
+          for (JobId c : candidates) {
+            if (scored.size() >= kMaxScored) break;
+            scored.push_back({c, backfill_policy_->score(jobs_.at(c))});
+          }
+          config_.trace->emit_alloc_decision(engine_.now(), id, res.at, scored);
+        }
+
+        int free_now = allocator_.free_count();
+        int spare = res.spare_nodes;
+        const sim::Time now = engine_.now();
+        for (JobId c : candidates) {
+          Job& cand = jobs_.at(c);
+          if (cand.spec.num_nodes > free_now) continue;
+          const bool ends_before_reservation =
+              now + cand.spec.walltime_estimate_s <= res.at;
+          const bool fits_in_spare = cand.spec.num_nodes <= spare;
+          if (!ends_before_reservation && !fits_in_spare) continue;
+
+          const StartOutcome outcome = try_start(c, /*via_backfill=*/true);
+          if (outcome == StartOutcome::Launched) {
+            free_now -= cand.spec.num_nodes;
+            if (!ends_before_reservation) spare -= cand.spec.num_nodes;
+          } else if (outcome == StartOutcome::Delayed) {
+            any_delayed = true;
+            delayed_this_pass.insert(c);
+          }
+        }
+      }
+      break;  // only the head non-fitting job gets a reservation
+    }
+
+    // Delayed jobs would deadlock if no completion ever triggers another
+    // pass; re-arm a timer pass whenever any delay happened.
+    if (any_delayed) arm_retry();
+  } while (pass_requested_);
+  in_pass_ = false;
+}
+
+}  // namespace rush::sched

@@ -1,0 +1,142 @@
+// Pinned pre-optimization scheduler, kept for differential testing and
+// as the measurable baseline of the incremental-core speedup.
+//
+// This is the straightforward reading of Algorithms 1–2 that shipped
+// before the indexed-queue/incremental-timeline rewrite (DESIGN.md §14):
+// jobs in a hash map, a linearly scanned ready queue, the reservation
+// rebuilt by re-sorting every running job's end estimate on every pass,
+// and a freshly allocated, fully sorted backfill candidate list. Every
+// scheduling decision it makes is the identity contract the optimized
+// sched/scheduler.* must reproduce byte-for-byte:
+// tests/sched/test_differential.cpp drives both over randomized
+// workloads, fault plans, and skip placements, and
+// bench/bench_micro_sched.cpp derives the pass-latency speedup from the
+// pair (like the per-node-sort reference trainer in bench_micro_ml).
+//
+// Do not optimize this class. Behavioral changes must land in both
+// schedulers, differentially tested, or not at all.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace rush::sched {
+
+class ReferenceScheduler {
+ public:
+  using JobEventFn = std::function<void(const Job&)>;
+
+  /// The oracle may be null unless rush_enabled. All references must
+  /// outlive the scheduler.
+  ReferenceScheduler(sim::Engine& engine, cluster::NodeAllocator& allocator,
+                     apps::ExecutionModel& execution,
+                     std::unique_ptr<QueuePolicyBase> main_policy,
+                     std::unique_ptr<QueuePolicyBase> backfill_policy, SchedulerConfig config,
+                     VariabilityOracle* oracle = nullptr);
+
+  ReferenceScheduler(const ReferenceScheduler&) = delete;
+  ReferenceScheduler& operator=(const ReferenceScheduler&) = delete;
+
+  /// Submit a job now; triggers a scheduling pass.
+  JobId submit(JobSpec spec);
+  /// Submit at a future simulated time.
+  JobId submit_at(sim::Time when, JobSpec spec);
+
+  /// Optional hooks, fired on job start / completion. A null fn clears
+  /// the hook, so every input is valid.
+  // rush-lint: allow(missing-expects)
+  void on_start(JobEventFn fn) { start_hook_ = std::move(fn); }
+  // rush-lint: allow(missing-expects)
+  void on_complete(JobEventFn fn) { complete_hook_ = std::move(fn); }
+
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
+  [[nodiscard]] std::size_t completed_count() const noexcept { return completed_order_.size(); }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty() && running_.empty(); }
+
+  /// Ids of pending jobs in current queue order (head first).
+  [[nodiscard]] std::vector<JobId> queued_jobs() const { return queue_; }
+  /// All jobs ever submitted, in submission order.
+  [[nodiscard]] std::vector<const Job*> all_jobs() const;
+  /// Completed jobs in completion order.
+  [[nodiscard]] std::vector<const Job*> completed_jobs() const;
+
+  /// Duration from first submission to last completion; 0 before any
+  /// completion.
+  [[nodiscard]] double makespan() const noexcept;
+
+  /// Total Algorithm-2 delays issued across all jobs.
+  [[nodiscard]] std::uint64_t total_skips() const noexcept { return total_skips_; }
+  [[nodiscard]] std::uint64_t passes_run() const noexcept { return passes_; }
+  /// Jobs put back in the queue because a node crashed under them.
+  [[nodiscard]] std::uint64_t total_requeues() const noexcept { return total_requeues_; }
+
+  /// Run one scheduling pass now (normally driven by submit/complete).
+  void schedule_pass();
+
+ private:
+  /// Outcome of trying to launch one queued job (Algorithm 2).
+  enum class StartOutcome { Launched, Delayed, NoResources };
+
+  StartOutcome try_start(JobId id, bool via_backfill);
+  void launch(Job& job, cluster::NodeSet nodes, bool via_backfill);
+  void handle_completion(JobId id, const apps::RunRecord& record);
+  void handle_node_fault(const faults::NodeFaultEvent& ev);
+  /// Abort + release + re-enqueue a running job whose node died.
+  void requeue(JobId id, cluster::NodeId failed_node);
+  void insert_in_queue(JobId id);
+  void apply_skip_placement(JobId id);
+  void arm_retry();
+
+  struct Reservation {
+    sim::Time at = 0.0;
+    int spare_nodes = 0;  // nodes free at reservation time beyond the job's need
+  };
+  [[nodiscard]] Reservation compute_reservation(const Job& job) const;
+
+  sim::Engine& engine_;
+  cluster::NodeAllocator& allocator_;
+  apps::ExecutionModel& execution_;
+  std::unique_ptr<QueuePolicyBase> main_policy_;
+  std::unique_ptr<QueuePolicyBase> backfill_policy_;
+  SchedulerConfig config_;
+  VariabilityOracle* oracle_;
+
+  JobId next_id_ = 1;
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> submit_order_;
+  std::vector<JobId> queue_;  // pending, in R1 order
+  std::unordered_set<JobId> running_;
+  std::vector<JobId> completed_order_;
+  // Incremental makespan endpoints: min submit time seen / max end time
+  // seen, so makespan() never rescans the job tables.
+  double first_submit_s_ = std::numeric_limits<double>::max();
+  double last_end_s_ = 0.0;
+  std::uint64_t total_skips_ = 0;
+  std::uint64_t passes_ = 0;
+  std::uint64_t total_requeues_ = 0;
+  bool in_pass_ = false;
+  bool pass_requested_ = false;
+  bool retry_armed_ = false;
+  JobEventFn start_hook_;
+  JobEventFn complete_hook_;
+
+  // Cached observability instruments (owned by config_.metrics; all null
+  // when no registry is attached).
+  obs::Counter* metric_passes_ = nullptr;
+  obs::Counter* metric_launches_ = nullptr;
+  obs::Counter* metric_backfills_ = nullptr;
+  obs::Counter* metric_skips_ = nullptr;
+  obs::Counter* metric_requeues_ = nullptr;  // registered only with faults attached
+  obs::Histogram* metric_queue_depth_ = nullptr;
+  obs::Histogram* metric_slowdown_ = nullptr;
+};
+
+}  // namespace rush::sched

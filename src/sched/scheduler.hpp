@@ -12,13 +12,37 @@
 // place at the head of the queue ("remains at the top", the prose
 // reading) or moves one slot back ("push after front", the pseudocode
 // reading) depending on SkipPlacement.
+//
+// Incremental core (DESIGN.md §14): this is the optimized scheduler. A
+// pass is O(work done) rather than O(state held):
+//  - jobs live in a dense table indexed by JobId (ids are allocated
+//    densely from 1 by this scheduler), so every lookup is an array
+//    index instead of a hash probe;
+//  - the ready queue is kept sorted in main-policy order, so inserts are
+//    a binary search (O(log n) policy evaluations) and the launch-path
+//    erase is a binary search instead of a linear std::find;
+//  - running jobs' walltime-estimate end times are maintained in a
+//    sorted reservation timeline updated on launch/completion/requeue,
+//    so compute_reservation no longer re-sorts every running job each
+//    pass;
+//  - per-pass containers (queue snapshot, backfill candidates, trace
+//    scores) are member scratch buffers, and "delayed this pass" is a
+//    pass-numbered stamp per job, so a steady-state pass that launches
+//    nothing performs no allocation at all.
+// Every scheduling decision — launch order, node assignments, trace
+// bytes — is byte-identical to the pinned pre-optimization
+// ReferenceScheduler (sched/reference_scheduler.hpp); the differential
+// suite in tests/sched/test_differential.cpp enforces that, and
+// bench/bench_micro_sched.cpp measures the resulting pass latency and
+// allocation counts against it.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "apps/execution.hpp"
 #include "cluster/allocator.hpp"
@@ -36,11 +60,19 @@ class Counter;
 class EventTrace;
 class Histogram;
 class MetricsRegistry;
+struct CandidateScore;
 }  // namespace rush::obs
 
 namespace rush::sched {
 
 enum class SkipPlacement : std::uint8_t { Front, AfterFront };
+
+/// Bucket count of the sched.queue_depth histogram: a Log2 layout over
+/// [1, 16384) at two buckets per octave. The old shape was uniform
+/// [0, 256) x 64, which clipped every deeper queue into one overflow
+/// bucket; the geometric layout keeps relative resolution out to 16k
+/// jobs while depth 0 lands in the (exactly counted) underflow bucket.
+inline constexpr std::size_t kQueueDepthBuckets = 28;
 
 struct SchedulerConfig {
   bool enable_backfill = true;  // EASY
@@ -88,6 +120,8 @@ class Scheduler {
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  // Out of line: the scratch buffers hold forward-declared trace types.
+  ~Scheduler();
 
   /// Submit a job now; triggers a scheduling pass.
   JobId submit(JobSpec spec);
@@ -138,8 +172,25 @@ class Scheduler {
   /// Abort + release + re-enqueue a running job whose node died.
   void requeue(JobId id, cluster::NodeId failed_node);
   void insert_in_queue(JobId id);
+  /// Removes a launching job from queue_ (binary search in the sorted
+  /// regime, linear in the AfterFront-unsorted regime).
+  void erase_from_queue(JobId id);
   void apply_skip_placement(JobId id);
   void arm_retry();
+
+  /// Table access by dense id; the public job() validates and throws.
+  [[nodiscard]] Job& job_ref(JobId id) noexcept { return jobs_[id - 1]; }
+  [[nodiscard]] const Job& job_ref(JobId id) const noexcept { return jobs_[id - 1]; }
+
+  /// Reservation-timeline bookkeeping: one (walltime-estimate end, node
+  /// count) entry per running job, kept sorted by that pair.
+  void timeline_insert(sim::Time end_est, int count);
+  void timeline_erase(sim::Time end_est, int count);
+
+  /// RUSH_AUDIT hook: checks the main policy behaves as a strict weak
+  /// ordering (with a deterministic total order across distinct ids)
+  /// against the insertion point's neighbors. See policy.hpp.
+  void audit_queue_insert(std::vector<JobId>::const_iterator pos, const Job& job) const;
 
   struct Reservation {
     sim::Time at = 0.0;
@@ -156,11 +207,28 @@ class Scheduler {
   VariabilityOracle* oracle_;
 
   JobId next_id_ = 1;
-  std::unordered_map<JobId, Job> jobs_;
+  // Dense job table: jobs_[id - 1]. Ids are handed out sequentially by
+  // submit/submit_at, and a deque gives stable references across growth,
+  // so a JobId is a direct index for the scheduler's whole lifetime.
+  std::deque<Job> jobs_;
   std::vector<JobId> submit_order_;
-  std::vector<JobId> queue_;  // pending, in R1 order
-  std::unordered_set<JobId> running_;
+  // Pending jobs in R1 order. Invariant: sorted by main_policy_ (which
+  // makes insert/erase binary searches) except while queue_unsorted_ —
+  // see apply_skip_placement.
+  std::vector<JobId> queue_;
+  // SkipPlacement::AfterFront swaps the head pair, putting a
+  // policy-later job in front: binary search is off the table until the
+  // queue drains to a single element. While set, queue ops fall back to
+  // the reference linear walk, which is exactly the legacy semantics.
+  bool queue_unsorted_ = false;
+  std::vector<JobId> running_;  // sorted by id
+  // (start_s + walltime_estimate_s, node count) per running job, sorted.
+  // compute_reservation walks this instead of re-sorting running_.
+  std::vector<std::pair<sim::Time, int>> timeline_;
   std::vector<JobId> completed_order_;
+  // delayed_pass_[id - 1] == passes_ marks "delayed in the current
+  // pass" without a per-pass set allocation.
+  std::vector<std::uint64_t> delayed_pass_;
   // Incremental makespan endpoints: min submit time seen / max end time
   // seen, so makespan() never rescans the job tables.
   double first_submit_s_ = std::numeric_limits<double>::max();
@@ -173,6 +241,13 @@ class Scheduler {
   bool retry_armed_ = false;
   JobEventFn start_hook_;
   JobEventFn complete_hook_;
+
+  // Per-pass scratch, reused so a steady-state pass allocates nothing.
+  // schedule_pass is non-reentrant (in_pass_ guard), so one set suffices.
+  std::vector<JobId> pass_snapshot_;
+  std::vector<JobId> candidates_;
+  mutable std::vector<int> clamped_counts_;  // compute_reservation is const
+  std::vector<obs::CandidateScore> scored_;
 
   // Cached observability instruments (owned by config_.metrics; all null
   // when no registry is attached).

@@ -1,0 +1,36 @@
+// Fixture for sched-linear-scan: linear std:: algorithms over member
+// containers (trailing underscore) in the sched module are findings;
+// locals and allow-markered fallbacks are not.
+#include <algorithm>
+#include <vector>
+
+namespace rush::sched {
+
+class MiniQueue {
+ public:
+  bool contains(int id) const {
+    return std::find(queue_.begin(), queue_.end(), id) != queue_.end();
+  }
+
+  void drop(int id) {
+    // rush-analyze: allow(sched-linear-scan) deliberate unsorted fallback
+    auto it = std::find(running_.begin(), running_.end(), id);
+    if (it != running_.end()) running_.erase(it);
+  }
+
+  bool any_wider_than(int width) const {
+    return std::find_if(pending_.begin(), pending_.end(),
+                        [width](int w) { return w > width; }) != pending_.end();
+  }
+
+  static bool local_scan(const std::vector<int>& xs, int v) {
+    return std::find(xs.begin(), xs.end(), v) != xs.end();
+  }
+
+ private:
+  std::vector<int> queue_;
+  std::vector<int> running_;
+  std::vector<int> pending_;
+};
+
+}  // namespace rush::sched

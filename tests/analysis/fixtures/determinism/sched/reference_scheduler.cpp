@@ -1,0 +1,19 @@
+// Fixture: the pinned reference implementation is exempt from
+// sched-linear-scan by file stem — its linear walks ARE the semantics
+// the optimized scheduler is differentially tested against.
+#include <algorithm>
+#include <vector>
+
+namespace rush::sched {
+
+class ReferenceQueue {
+ public:
+  bool contains(int id) const {
+    return std::find(queue_.begin(), queue_.end(), id) != queue_.end();
+  }
+
+ private:
+  std::vector<int> queue_;
+};
+
+}  // namespace rush::sched

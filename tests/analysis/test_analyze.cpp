@@ -194,6 +194,18 @@ TEST(AnalyzeUnorderedIter, SeesCrossFileMembersSkipsSortedCopiesAndScope) {
             }));
 }
 
+TEST(AnalyzeSchedLinearScan, FlagsMemberScansHonoursExemptionAndMarkers) {
+  const ra::AnalyzeResult r = run("determinism", {"sched-linear-scan"});
+  // queue_ and pending_ fire; the allow-markered running_ scan, the
+  // local-container scan, and everything in reference_scheduler.cpp
+  // (home-file exemption) stay quiet.
+  EXPECT_EQ(file_keys(r),
+            (std::multiset<std::pair<std::string, std::string>>{
+                {"sched/bad_scan.cpp", "queue_"},
+                {"sched/bad_scan.cpp", "pending_"},
+            }));
+}
+
 // -------------------------------------------------------- header hygiene
 
 TEST(AnalyzePragmaOnce, MissingGuardIsAFinding) {
@@ -234,7 +246,7 @@ TEST(AnalyzeUnusedModuleInclude, UnreferencedModuleOnly) {
 // ---------------------------------------------------------- integration
 
 TEST(AnalyzeFullCatalogue, FixtureTreesProduceExactlyTheSeededFindings) {
-  EXPECT_EQ(run("determinism").findings.size(), 9u);  // 5 rand + 3 thread + 1 iter
+  EXPECT_EQ(run("determinism").findings.size(), 11u);  // 5 rand + 3 thread + 1 iter + 2 scan
   EXPECT_EQ(run("hygiene").findings.size(), 7u);      // 1 guard + 3 defs + 2 redundant + 1 unused
   EXPECT_EQ(run("layering").findings.size(), 2u);
   EXPECT_EQ(run("cycle").findings.size(), 1u);
@@ -309,7 +321,8 @@ TEST(AnalyzeCatalogue, EveryRuleIsDocumented) {
   }
   for (const char* expected :
        {"layer-dag", "include-cycle", "naked-rand", "raw-thread", "unordered-iter",
-        "pragma-once", "header-def", "redundant-include", "unused-module-include"}) {
+        "sched-linear-scan", "pragma-once", "header-def", "redundant-include",
+        "unused-module-include"}) {
     EXPECT_TRUE(names.count(expected) > 0) << expected;
   }
 }

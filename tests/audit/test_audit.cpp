@@ -28,6 +28,7 @@ namespace rush::cluster {
 struct AuditTestPeer {
   static void fake_free_count(NodeAllocator& a) { a.free_count_ += 3; }
   static void truncate_bitmap(NodeAllocator& a) { a.free_.pop_back(); }
+  static void poison_tail_bit(NodeAllocator& a) { a.free_.back() |= 1ULL << 63; }
 };
 struct NetworkAuditTestPeer {
   static void leak_load(NetworkModel& m) { m.loads_.at(0) += 7.5; }
@@ -108,6 +109,15 @@ TEST(AuditAllocator, FiresOnFreeCountDrift) {
 TEST(AuditAllocator, FiresOnBitmapShapeMismatch) {
   rush::cluster::NodeAllocator alloc({0, 1, 2, 3});
   rush::cluster::AuditTestPeer::truncate_bitmap(alloc);
+  EXPECT_THROW(alloc.audit_invariants(), AuditError);
+}
+
+TEST(AuditAllocator, FiresOnStrayBitPastManagedCount) {
+  // Word-level scans rely on every bit past the managed count staying
+  // zero; a stray tail bit would corrupt popcount free accounting and
+  // contiguous-run searches.
+  rush::cluster::NodeAllocator alloc({0, 1, 2, 3});
+  rush::cluster::AuditTestPeer::poison_tail_bit(alloc);
   EXPECT_THROW(alloc.audit_invariants(), AuditError);
 }
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -196,6 +200,127 @@ TEST(Allocator, ReleaseParksNodesThatWentOutWhileAllocated) {
   ASSERT_TRUE(b.has_value());
   for (NodeId n : *b) EXPECT_NE(n, 1);
   alloc.audit_invariants();
+}
+
+/// Pre-word-bitset reference model: three slot-indexed boolean bitmaps
+/// and the straightforward bit-at-a-time first-fit scan. The placement
+/// order the production allocator must reproduce exactly.
+class ReferenceAllocator {
+ public:
+  explicit ReferenceAllocator(NodeSet managed)
+      : managed_(std::move(managed)), free_(managed_.size(), true),
+        allocated_(managed_.size(), false), out_(managed_.size(), false) {}
+
+  std::optional<NodeSet> allocate(int count) {
+    const auto need = static_cast<std::size_t>(count);
+    if (need > free_count()) return std::nullopt;
+    const std::size_t n = managed_.size();
+    // First maximal free run of at least `count` consecutive slots.
+    for (std::size_t i = 0; i < n;) {
+      if (!free_[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < n && free_[j]) ++j;
+      if (j - i >= need) return take(i, i + need);
+      i = j;
+    }
+    // Fragmented fallback: lowest-indexed free slots.
+    NodeSet out;
+    for (std::size_t i = 0; i < n && out.size() < need; ++i) {
+      if (!free_[i]) continue;
+      free_[i] = false;
+      allocated_[i] = true;
+      out.push_back(managed_[i]);
+    }
+    return out;
+  }
+
+  void release(const NodeSet& nodes) {
+    for (NodeId node : nodes) {
+      const std::size_t i = index(node);
+      allocated_[i] = false;
+      if (!out_[i]) free_[i] = true;
+    }
+  }
+
+  void set_available(NodeId node, bool available) {
+    const std::size_t i = index(node);
+    if (out_[i] != available) return;
+    out_[i] = !available;
+    if (available) {
+      if (!allocated_[i]) free_[i] = true;
+    } else {
+      free_[i] = false;
+    }
+  }
+
+  std::size_t free_count() const {
+    std::size_t total = 0;
+    for (const bool b : free_) total += b ? 1 : 0;
+    return total;
+  }
+
+ private:
+  NodeSet take(std::size_t begin, std::size_t end) {
+    NodeSet out;
+    for (std::size_t i = begin; i < end; ++i) {
+      free_[i] = false;
+      allocated_[i] = true;
+      out.push_back(managed_[i]);
+    }
+    return out;
+  }
+  std::size_t index(NodeId node) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(managed_.begin(), managed_.end(), node) - managed_.begin());
+  }
+
+  NodeSet managed_;
+  std::vector<bool> free_;
+  std::vector<bool> allocated_;
+  std::vector<bool> out_;
+};
+
+TEST(Allocator, DifferentialAgainstBitmapReferenceUnderChurn) {
+  // Randomized allocate/release/out-of-service churn over a cluster big
+  // enough to span several 64-bit words (word-boundary runs, partial
+  // tail word), checking every placement against the reference model.
+  for (const std::uint64_t seed : {3ULL, 11ULL, 2026ULL}) {
+    NodeAllocator alloc(range(0, 200));  // 3 words + 8-bit tail
+    ReferenceAllocator ref(range(0, 200));
+    Rng rng(seed);
+    std::vector<NodeSet> live;
+    for (int step = 0; step < 2000; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.45) {
+        const int count = static_cast<int>(rng.uniform_int(1, 80));
+        const auto got = alloc.allocate(count);
+        const auto want = ref.allocate(count);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "seed " << seed << " step " << step;
+        if (got.has_value()) {
+          ASSERT_EQ(*got, *want) << "seed " << seed << " step " << step;
+          live.push_back(*got);
+        }
+      } else if (roll < 0.85) {
+        if (live.empty()) continue;
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        alloc.release(live[pick]);
+        ref.release(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto node = static_cast<NodeId>(rng.uniform_int(0, 199));
+        const bool available = rng.bernoulli(0.5);
+        alloc.set_available(node, available);
+        ref.set_available(node, available);
+      }
+      ASSERT_EQ(static_cast<std::size_t>(alloc.free_count()), ref.free_count())
+          << "seed " << seed << " step " << step;
+      alloc.audit_invariants();
+    }
+  }
 }
 
 }  // namespace

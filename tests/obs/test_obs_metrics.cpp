@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "common/error.hpp"
+
 namespace rush::obs {
 namespace {
 
@@ -78,6 +80,87 @@ TEST(Histogram, SingleSampleAllPercentilesEqualIt) {
   EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.25);
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.25);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.25);
+}
+
+TEST(Histogram, Log2BucketBoundariesArePowersOfTwo) {
+  // [1,16) over 4 buckets: [1,2) [2,4) [4,8) [8,16), plus under/overflow.
+  Histogram h(1.0, 16.0, 4, HistogramScale::Log2);
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.999);
+  h.record(4.0);
+  h.record(8.0);
+  h.record(15.999);
+  h.record(0.5);   // underflow
+  h.record(16.0);  // overflow (hi is exclusive)
+  const auto b = h.buckets();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+  EXPECT_EQ(b[4], 2u);
+  EXPECT_EQ(b[5], 1u);
+}
+
+TEST(Histogram, Log2QueueDepthShapeDoesNotClipDeepQueues) {
+  // The sched.queue_depth regression: the old uniform 0..256 shape
+  // dumped every deep-queue sample into the overflow bucket, so p50/p99
+  // saturated at 256. The Log2 shape the schedulers register (lo=1,
+  // hi=16384, 28 buckets => 2 buckets per octave, bucket edges a factor
+  // of sqrt(2) apart) resolves depth 4096 to within one geometric
+  // bucket.
+  Histogram h(1.0, 16384.0, 28, HistogramScale::Log2);
+  for (int i = 0; i < 1000; ++i) h.record(4096.0);
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 4096.0 / 1.4143);
+  EXPECT_LE(p50, 4096.0 * 1.4143);
+  EXPECT_GT(p50, 256.0);  // the clipped value the uniform shape reported
+  // Shallow depths still resolve: octave buckets are fine-grained at
+  // the low end of the range.
+  Histogram shallow(1.0, 16384.0, 28, HistogramScale::Log2);
+  for (int i = 0; i < 1000; ++i) shallow.record(3.0);
+  EXPECT_NEAR(shallow.percentile(0.5), 3.0, 1.25);
+}
+
+TEST(Histogram, Log2PercentileInterpolatesGeometrically) {
+  Histogram h(1.0, 1024.0, 10, HistogramScale::Log2);  // one bucket per octave
+  for (int i = 0; i < 1000; ++i) h.record(static_cast<double>(1 + (i % 1000)));
+  // Monotone in q, and each quantile within one octave of the truth.
+  double prev = h.percentile(0.0);
+  for (double q = 0.1; q <= 0.9; q += 0.1) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    const double exact = q * 1000.0;
+    EXPECT_GE(v, exact / 2.0) << "q=" << q;
+    EXPECT_LE(v, exact * 2.0) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, Log2ZeroAndNegativeGoToUnderflowWithoutNan) {
+  Histogram h(1.0, 256.0, 8, HistogramScale::Log2);
+  h.record(0.0);
+  h.record(-3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), -3.0);  // underflow reports observed min
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
+TEST(Histogram, Log2RequiresPositiveLowerBound) {
+  EXPECT_THROW(Histogram(0.0, 256.0, 8, HistogramScale::Log2), PreconditionError);
+  EXPECT_THROW(Histogram(-1.0, 256.0, 8, HistogramScale::Log2), PreconditionError);
+}
+
+TEST(MetricsRegistry, HistogramForwardsScale) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("depth", 1.0, 16.0, 4, HistogramScale::Log2);
+  EXPECT_EQ(h.scale(), HistogramScale::Log2);
+  h.record(3.0);  // lands in the [2,4) octave bucket, not uniform slot 1
+  EXPECT_EQ(h.buckets()[2], 1u);
+  // Scale defaults to Uniform for everyone else.
+  EXPECT_EQ(reg.histogram("wait", 0.0, 10.0, 4).scale(), HistogramScale::Uniform);
 }
 
 TEST(MetricsRegistry, InstrumentsAreStableAcrossLookups) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 #include "sched/oracle.hpp"
 
@@ -59,6 +60,72 @@ TEST(Policy, FactoryByName) {
   EXPECT_EQ(make_policy("fcfs")->name(), "fcfs");
   EXPECT_EQ(make_policy("sjf")->name(), "sjf");
   EXPECT_THROW((void)make_policy("priority"), ParseError);
+}
+
+// --- Ordering-contract audit (audit_policy_order) -----------------------
+//
+// The incremental scheduler's binary-searched queue is only correct when
+// before() is a strict weak ordering whose ties are broken by job id (a
+// total order across distinct jobs; see the contract in policy.hpp). The
+// audit function is compiled in every build so it can be tested directly;
+// the scheduler itself invokes it through RUSH_AUDIT_HOOK on each queue
+// insert in audit builds.
+
+/// Deliberately broken: orders by width only, no id tie-break. Two
+/// distinct equal-width jobs are mutually unordered, so upper_bound and
+/// find_if may disagree on their relative position.
+class WidthOnlyPolicy final : public QueuePolicyBase {
+ public:
+  [[nodiscard]] bool before(const Job& a, const Job& b) const override {
+    return a.spec.num_nodes < b.spec.num_nodes;
+  }
+  [[nodiscard]] std::string name() const override { return "width-only"; }
+};
+
+/// Deliberately broken differently: non-strict (<=), so before(a, a) is
+/// true and both orientations hold for equal keys.
+class NonStrictPolicy final : public QueuePolicyBase {
+ public:
+  [[nodiscard]] bool before(const Job& a, const Job& b) const override {
+    return a.submit_s <= b.submit_s;
+  }
+  [[nodiscard]] std::string name() const override { return "non-strict"; }
+};
+
+TEST(PolicyAudit, WellFormedPoliciesPassIncludingTies) {
+  const Job a = make_job(1, 10.0, 100.0);
+  const Job tie = make_job(2, 10.0, 100.0);  // equal keys, distinct ids
+  const Job b = make_job(3, 20.0, 50.0);
+  const FcfsPolicy fcfs;
+  const SjfPolicy sjf;
+  for (const QueuePolicyBase* p : {static_cast<const QueuePolicyBase*>(&fcfs),
+                                   static_cast<const QueuePolicyBase*>(&sjf)}) {
+    EXPECT_NO_THROW(audit_policy_order(*p, a, tie));
+    EXPECT_NO_THROW(audit_policy_order(*p, tie, a));
+    EXPECT_NO_THROW(audit_policy_order(*p, a, b));
+    EXPECT_NO_THROW(audit_policy_order(*p, a, a));  // same job: no tie-break needed
+  }
+}
+
+TEST(PolicyAudit, MissingIdTieBreakIsRejected) {
+  WidthOnlyPolicy p;
+  Job a = make_job(1, 10.0, 100.0);
+  Job b = make_job(2, 20.0, 50.0);
+  a.spec.num_nodes = 4;
+  b.spec.num_nodes = 4;  // equal width, distinct ids: unordered under p
+  EXPECT_THROW(audit_policy_order(p, a, b), AuditError);
+  b.spec.num_nodes = 8;  // ordered pair: fine even without a tie-break
+  EXPECT_NO_THROW(audit_policy_order(p, a, b));
+}
+
+TEST(PolicyAudit, NonStrictComparatorIsRejected) {
+  NonStrictPolicy p;
+  const Job a = make_job(1, 10.0, 100.0);
+  const Job b = make_job(2, 10.0, 100.0);
+  // Irreflexivity fails first: before(a, a) is true under <=.
+  EXPECT_THROW(audit_policy_order(p, a, a), AuditError);
+  // Asymmetry fails for the distinct pair: both orientations hold.
+  EXPECT_THROW(audit_policy_order(p, a, b), AuditError);
 }
 
 TEST(Policy, PredictionNames) {

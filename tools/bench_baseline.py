@@ -2,8 +2,8 @@
 """Perf-baseline harness: run the micro-benchmarks, write BENCH_micro.json.
 
 Runs the google-benchmark binaries (bench_micro_network,
-bench_micro_telemetry, bench_micro_pool, and bench_micro_ml by default)
-from a release build tree and distills
+bench_micro_telemetry, bench_micro_pool, bench_micro_ml, and
+bench_micro_sched by default) from a release build tree and distills
 their JSON output into one machine-readable file at the repo root:
 
     {
@@ -49,7 +49,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BENCHES = ["bench_micro_network", "bench_micro_telemetry", "bench_micro_pool",
-                   "bench_micro_ml"]
+                   "bench_micro_ml", "bench_micro_sched"]
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 SPEEDUP_NUMERATOR = "bench_micro_network/BM_NetworkChurnFullRebuild"
@@ -64,6 +64,12 @@ POOL_SCALING_WIDE = "bench_micro_pool/BM_PoolScaling/4"
 # the same 1000x282 fit (both produce bit-identical trees).
 TREE_FIT_REFERENCE = "bench_micro_ml/BM_TreeFit/1000"
 TREE_FIT_PRESORTED = "bench_micro_ml/BM_TreeFitPresorted/1000"
+
+# Steady-state scheduling pass at queue depth 4096 on a 4096-node
+# cluster: pinned ReferenceScheduler vs the incremental Scheduler (both
+# make byte-identical decisions; >= 5x is the PR 9 acceptance floor).
+SCHED_PASS_REFERENCE = "bench_micro_sched/BM_SchedPassSaturatedReference/4096/4096"
+SCHED_PASS_INCREMENTAL = "bench_micro_sched/BM_SchedPassSaturated/4096/4096"
 
 
 def find_build_dir(explicit: str | None) -> Path:
@@ -224,6 +230,11 @@ def main() -> int:
     if ref and pre and pre["ns_per_op"] > 0.0:
         report["derived"]["tree_fit_presort_speedup"] = (
             ref["ns_per_op"] / pre["ns_per_op"])
+    sref = benchmarks.get(SCHED_PASS_REFERENCE)
+    sinc = benchmarks.get(SCHED_PASS_INCREMENTAL)
+    if sref and sinc and sinc["ns_per_op"] > 0.0:
+        report["derived"]["sched_pass_speedup"] = (
+            sref["ns_per_op"] / sinc["ns_per_op"])
 
     failures = [k for k, v in benchmarks.items() if "error" in v]
     out_path = Path(args.output)
@@ -240,6 +251,10 @@ def main() -> int:
     if "tree_fit_presort_speedup" in report["derived"]:
         print(f"tree fit speedup (per-node-sort reference / presorted): "
               f"{report['derived']['tree_fit_presort_speedup']:.2f}x")
+    if "sched_pass_speedup" in report["derived"]:
+        print(f"scheduling pass speedup (reference / incremental, "
+              f"depth 4096 on 4096 nodes): "
+              f"{report['derived']['sched_pass_speedup']:.1f}x")
     if failures:
         sys.exit(f"error: benchmarks reported failures: {failures}")
     if regressions:
