@@ -1,12 +1,14 @@
 #include "analysis/analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <sstream>
 
-#include "analysis/lexer.hpp"
+#include "analysis/contracts.hpp"
 #include "analysis/rules.hpp"
+#include "analysis/symbols.hpp"
 #include "common/error.hpp"
 #include "obs/json.hpp"
 
@@ -25,10 +27,8 @@ std::string rel_to(const std::filesystem::path& root, const std::filesystem::pat
   return (rel.empty() || *rel.begin() == "..") ? p.generic_string() : rel.generic_string();
 }
 
-std::vector<std::filesystem::path> collect(const AnalyzeOptions& options) {
+std::vector<std::filesystem::path> collect(const std::vector<std::filesystem::path>& inputs) {
   std::vector<std::filesystem::path> files;
-  std::vector<std::filesystem::path> inputs = options.inputs;
-  if (inputs.empty()) inputs.push_back(options.root);
   for (const std::filesystem::path& input : inputs) {
     if (std::filesystem::is_directory(input)) {
       for (const auto& entry : std::filesystem::recursive_directory_iterator(input)) {
@@ -47,12 +47,10 @@ std::vector<std::filesystem::path> collect(const AnalyzeOptions& options) {
   return files;
 }
 
-SourceFile read_and_lex(const std::filesystem::path& root, const std::filesystem::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) throw ParseError("rush_analyze: cannot read " + p.string());
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return lex_string(rel_to(root, p), buf.str());
+std::string cache_key(const std::filesystem::path& p) {
+  std::error_code ec;
+  const std::filesystem::path canon = std::filesystem::weakly_canonical(p, ec);
+  return (ec ? std::filesystem::absolute(p) : canon).generic_string();
 }
 
 std::string dir_of(const std::string& rel) {
@@ -75,21 +73,59 @@ const SourceFile* primary_header_of(const SourceFile& f,
 
 }  // namespace
 
-AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
+const SourceFile& Analyzer::lexed(const std::filesystem::path& root,
+                                  const std::filesystem::path& p, AnalyzeStats& stats) {
+  const std::string key = cache_key(p);
+  const std::string rel = rel_to(root, p);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats.cache_hits;
+    if (it->second.rel != rel) it->second.rel = rel;  // root changed between runs
+    return it->second;
+  }
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw ParseError("rush_analyze: cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ++stats.files_lexed;
+  return cache_.emplace(key, lex_string(rel, buf.str())).first->second;
+}
+
+AnalyzeResult Analyzer::run(const AnalyzeOptions& options, Baseline* baseline) {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto enabled = [&options](const char* rule) {
     return options.only.empty() || options.only.count(rule) > 0;
   };
 
-  std::vector<SourceFile> files;
-  for (const std::filesystem::path& p : collect(options)) {
-    files.push_back(read_and_lex(options.root, p));
+  AnalyzeResult result;
+  AnalyzeStats& stats = result.stats;
+
+  std::vector<std::filesystem::path> input_paths =
+      collect(options.inputs.empty() ? std::vector<std::filesystem::path>{options.root}
+                                     : options.inputs);
+  std::vector<const SourceFile*> files;
+  std::set<std::string> seen;
+  for (const std::filesystem::path& p : input_paths) {
+    if (!seen.insert(cache_key(p)).second) continue;
+    files.push_back(&lexed(options.root, p, stats));
   }
+  std::vector<const SourceFile*> ref_files;
+  if (!options.ref_roots.empty()) {
+    for (const std::filesystem::path& p : collect(options.ref_roots)) {
+      if (!seen.insert(cache_key(p)).second) continue;  // already analyzed
+      ref_files.push_back(&lexed(options.root, p, stats));
+    }
+  }
+  stats.files_analyzed = files.size();
+  stats.ref_files = ref_files.size();
+  for (const SourceFile* f : files) stats.tokens += f->tokens.size();
+  for (const SourceFile* f : ref_files) stats.tokens += f->tokens.size();
 
   std::map<std::string, const SourceFile*> by_rel;
   std::map<std::string, std::vector<const SourceFile*>> by_dir;
-  for (const SourceFile& f : files) {
-    by_rel[f.rel] = &f;
-    by_dir[dir_of(f.rel)].push_back(&f);
+  for (const SourceFile* f : files) {
+    by_rel[f->rel] = f;
+    by_dir[dir_of(f->rel)].push_back(f);
   }
 
   std::vector<Finding> all;
@@ -99,7 +135,8 @@ AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
   }
   if (enabled("include-cycle")) graph.check_cycles(all);
 
-  for (const SourceFile& f : files) {
+  for (const SourceFile* fp : files) {
+    const SourceFile& f = *fp;
     if (enabled("naked-rand")) check_naked_rand(f, all);
     if (enabled("raw-thread")) check_raw_thread(f, all);
     if (enabled("unordered-iter")) {
@@ -112,10 +149,25 @@ AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
       check_redundant_include(f, primary_header_of(f, by_rel), all);
     }
     if (enabled("unused-module-include")) check_unused_module_include(f, all);
+    if (enabled("const-cast")) check_const_cast(f, all);
+    if (enabled("trace-sim-time")) check_trace_sim_time(f, all);
+  }
+
+  // The semantic rules share one cross-TU symbol index; skip the outline
+  // pass entirely when none of them is enabled.
+  if (enabled("missing-expects") || enabled("noalloc-path") ||
+      enabled("guarded-member") || enabled("dead-symbol")) {
+    SymbolIndex index;
+    for (const SourceFile* f : files) index.add_file(*f, /*analyzed=*/true);
+    for (const SourceFile* f : ref_files) index.add_file(*f, /*analyzed=*/false);
+    index.finalize();
+    if (enabled("missing-expects")) check_missing_expects(index, all);
+    if (enabled("noalloc-path")) check_noalloc_path(index, all);
+    if (enabled("guarded-member")) check_guarded_member(index, all);
+    if (enabled("dead-symbol")) check_dead_symbol(index, all);
   }
   std::sort(all.begin(), all.end());
 
-  AnalyzeResult result;
   result.files_analyzed = files.size();
   for (Finding& f : all) {
     if (baseline != nullptr && baseline->matches(f)) {
@@ -125,7 +177,14 @@ AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
     }
   }
   if (baseline != nullptr) result.unused_baseline = baseline->unused();
+  stats.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
+}
+
+AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline) {
+  Analyzer analyzer;
+  return analyzer.run(options, baseline);
 }
 
 std::string render_human(const AnalyzeResult& result) {
@@ -197,6 +256,131 @@ std::string render_json(const AnalyzeResult& result) {
   w.end_array();
   w.end_object();
   out += "\n";
+  return out;
+}
+
+std::string render_sarif(const AnalyzeResult& result) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  w.field("version", "2.1.0");
+  w.begin_array("runs");
+
+  std::string run;
+  obs::JsonWriter rw(run);
+  rw.begin_object();
+  {
+    std::string tool;
+    obs::JsonWriter tw(tool);
+    tw.begin_object();
+    {
+      std::string driver;
+      obs::JsonWriter dw(driver);
+      dw.begin_object();
+      dw.field("name", "rush_analyze");
+      dw.field("informationUri", "docs/static-analysis.md");
+      dw.begin_array("rules");
+      for (const RuleInfo& r : rule_catalogue()) {
+        std::string rule;
+        obs::JsonWriter rdw(rule);
+        rdw.begin_object();
+        rdw.field("id", r.name);
+        {
+          std::string desc;
+          obs::JsonWriter sdw(desc);
+          sdw.begin_object();
+          sdw.field("text", r.summary);
+          sdw.end_object();
+          rdw.raw_field("shortDescription", desc);
+        }
+        rdw.end_object();
+        dw.raw_element(rule);
+      }
+      dw.end_array();
+      dw.end_object();
+      tw.raw_field("driver", driver);
+    }
+    tw.end_object();
+    rw.raw_field("tool", tool);
+  }
+  rw.begin_array("results");
+  for (const Finding& f : result.findings) {
+    std::string res;
+    obs::JsonWriter sw(res);
+    sw.begin_object();
+    sw.field("ruleId", f.rule);
+    sw.field("level", "error");
+    {
+      std::string msg;
+      obs::JsonWriter mw(msg);
+      mw.begin_object();
+      mw.field("text", f.message);
+      mw.end_object();
+      sw.raw_field("message", msg);
+    }
+    {
+      std::string loc;
+      obs::JsonWriter lw(loc);
+      lw.begin_object();
+      {
+        std::string phys;
+        obs::JsonWriter pw(phys);
+        pw.begin_object();
+        {
+          std::string art;
+          obs::JsonWriter aw(art);
+          aw.begin_object();
+          aw.field("uri", f.file);
+          aw.end_object();
+          pw.raw_field("artifactLocation", art);
+        }
+        {
+          std::string region;
+          obs::JsonWriter gw(region);
+          gw.begin_object();
+          gw.field("startLine", static_cast<std::int64_t>(f.line > 0 ? f.line : 1));
+          gw.end_object();
+          pw.raw_field("region", region);
+        }
+        pw.end_object();
+        lw.raw_field("physicalLocation", phys);
+      }
+      lw.end_object();
+      sw.begin_array("locations");
+      sw.raw_element(loc);
+      sw.end_array();
+    }
+    {
+      std::string fp;
+      obs::JsonWriter fpw(fp);
+      fpw.begin_object();
+      fpw.field("rushKey", f.rule + ":" + f.file + ":" + f.key);
+      fpw.end_object();
+      sw.raw_field("partialFingerprints", fp);
+    }
+    sw.end_object();
+    rw.raw_element(res);
+  }
+  rw.end_array();
+  rw.end_object();
+  w.raw_element(run);
+  w.end_array();
+  w.end_object();
+  out += "\n";
+  return out;
+}
+
+std::string render_stats(const AnalyzeStats& stats) {
+  std::string out = "rush_analyze: analyzed " + std::to_string(stats.files_analyzed) +
+                    " file(s)";
+  if (stats.ref_files > 0) {
+    out += " + " + std::to_string(stats.ref_files) + " reference file(s)";
+  }
+  out += ", " + std::to_string(stats.tokens) + " tokens, " +
+         std::to_string(stats.files_lexed) + " lexed / " +
+         std::to_string(stats.cache_hits) + " cached, " +
+         std::to_string(stats.elapsed_s * 1e3) + " ms\n";
   return out;
 }
 

@@ -1,8 +1,11 @@
-// Orchestration for rush_analyze: collect files, lex, run every rule,
-// apply the suppression baseline, and render reports.
+// Orchestration for rush_analyze: collect files, lex (through a
+// persistent per-file cache), build the cross-TU symbol index, run every
+// rule, apply the suppression baseline, and render reports.
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,6 +13,7 @@
 #include "analysis/baseline.hpp"
 #include "analysis/finding.hpp"
 #include "analysis/include_graph.hpp"
+#include "analysis/lexer.hpp"
 
 namespace rush::analysis {
 
@@ -19,20 +23,52 @@ struct AnalyzeOptions {
   /// Files or directories (recursed) under `root` to analyze. Empty
   /// means "all of root".
   std::vector<std::filesystem::path> inputs;
+  /// Extra trees lexed and indexed for symbol references only — their
+  /// files are never rule targets, but calls from them keep symbols
+  /// alive for dead-symbol and provide definitions for pairing.
+  std::vector<std::filesystem::path> ref_roots;
   /// Restrict to these rule names; empty runs the whole catalogue.
   std::set<std::string> only;
   /// Architecture DAG for the layer rule; null uses rush_layer_dag().
   const LayerDag* dag = nullptr;
 };
 
-struct AnalyzeResult {
-  std::vector<Finding> findings;    // unsuppressed: these fail the run
-  std::vector<Finding> baselined;   // matched a baseline entry
-  std::vector<BaselineEntry> unused_baseline;
+/// Workload counters for one run (--stats).
+struct AnalyzeStats {
   std::size_t files_analyzed = 0;
+  std::size_t ref_files = 0;
+  std::size_t files_lexed = 0;  // cache misses this run
+  std::size_t cache_hits = 0;   // files served from the lex cache
+  std::size_t tokens = 0;       // across analyzed + reference files
+  double elapsed_s = 0.0;
 };
 
-/// Run the analysis. `baseline` may be null (nothing suppressed).
+struct AnalyzeResult {
+  std::vector<Finding> findings;   // unsuppressed: these fail the run
+  std::vector<Finding> baselined;  // matched a baseline entry
+  std::vector<BaselineEntry> unused_baseline;
+  std::size_t files_analyzed = 0;
+  AnalyzeStats stats;
+};
+
+/// Reusable analysis driver. Lexed token streams are cached per absolute
+/// path, so repeated runs (test suites, per-rule invocations, editors
+/// re-running on save) lex each unchanged file once.
+class Analyzer {
+ public:
+  /// Run the analysis. `baseline` may be null (nothing suppressed).
+  AnalyzeResult run(const AnalyzeOptions& options, Baseline* baseline);
+
+  [[nodiscard]] std::size_t cached_files() const { return cache_.size(); }
+
+ private:
+  const SourceFile& lexed(const std::filesystem::path& root, const std::filesystem::path& p,
+                          AnalyzeStats& stats);
+
+  std::map<std::string, SourceFile> cache_;  // canonical path -> lexed file
+};
+
+/// One-shot convenience wrapper around a fresh Analyzer.
 AnalyzeResult analyze(const AnalyzeOptions& options, Baseline* baseline);
 
 /// One line per finding plus a summary, for terminals.
@@ -40,5 +76,12 @@ std::string render_human(const AnalyzeResult& result);
 
 /// Machine-readable report (findings, baselined counts, unused entries).
 std::string render_json(const AnalyzeResult& result);
+
+/// SARIF 2.1.0 report (one run, rule metadata from the catalogue), for
+/// CI annotation upload.
+std::string render_sarif(const AnalyzeResult& result);
+
+/// One human-readable line summarizing `stats` (--stats output).
+std::string render_stats(const AnalyzeStats& stats);
 
 }  // namespace rush::analysis

@@ -58,9 +58,10 @@ const LayerDag& rush_layer_dag() {
   return dag;
 }
 
-IncludeGraph::IncludeGraph(const std::vector<SourceFile>& files) : files_(files) {
-  for (const SourceFile& f : files_) by_rel_[f.rel] = &f;
-  for (const SourceFile& f : files_) {
+IncludeGraph::IncludeGraph(const std::vector<const SourceFile*>& files) : files_(files) {
+  for (const SourceFile* f : files_) by_rel_[f->rel] = f;
+  for (const SourceFile* fp : files_) {
+    const SourceFile& f = *fp;
     std::vector<std::string>& out = resolved_[f.rel];
     for (const Include& inc : f.includes) {
       if (inc.angled) continue;
@@ -84,7 +85,8 @@ const std::vector<std::string>& IncludeGraph::resolved(const std::string& rel) c
 }
 
 void IncludeGraph::check_layers(const LayerDag& dag, std::vector<Finding>& out) const {
-  for (const SourceFile& f : files_) {
+  for (const SourceFile* fp : files_) {
+    const SourceFile& f = *fp;
     const std::string from = f.module();
     if (from.empty()) continue;  // files directly under the root: unscoped
     for (const Include& inc : f.includes) {

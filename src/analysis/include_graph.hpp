@@ -42,7 +42,7 @@ const LayerDag& rush_layer_dag();
 
 class IncludeGraph {
  public:
-  explicit IncludeGraph(const std::vector<SourceFile>& files);
+  explicit IncludeGraph(const std::vector<const SourceFile*>& files);
 
   /// Root-relative targets of `rel`'s quoted includes that resolve to
   /// analyzed files, in declaration order.
@@ -52,7 +52,7 @@ class IncludeGraph {
   void check_cycles(std::vector<Finding>& out) const;
 
  private:
-  const std::vector<SourceFile>& files_;
+  std::vector<const SourceFile*> files_;
   std::map<std::string, const SourceFile*> by_rel_;
   std::map<std::string, std::vector<std::string>> resolved_;
 };

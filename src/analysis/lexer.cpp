@@ -101,14 +101,42 @@ class Lexer {
     }
   }
 
+  /// Scan a comment's text for a `rush: <annotation>` contract marker.
+  /// A standalone comment annotates the line below it (it sits above the
+  /// declaration); a trailing comment annotates its own line.
+  void record_annotations(std::string_view comment, int line, bool standalone) {
+    std::size_t at = comment.find("rush:");
+    while (at != std::string_view::npos) {
+      // `rush-analyze:` / `rush-lint:` never match "rush:"; still require a
+      // comment-ish or space boundary before so `crush:` does not.
+      const char before = at == 0 ? '/' : comment[at - 1];
+      if (before == '/' || before == '*' || before == ' ' || before == '\t') {
+        std::string_view text = trim(comment.substr(at + 5));
+        if (text.size() >= 2 && text.substr(text.size() - 2) == "*/") {
+          text = trim(text.substr(0, text.size() - 2));  // block-comment form
+        }
+        if (!text.empty()) {
+          f_.annotations[standalone ? line + 1 : line].emplace_back(text);
+        }
+        return;
+      }
+      at = comment.find("rush:", at + 5);
+    }
+  }
+
   void line_comment() {
     const std::size_t begin = pos_;
+    const bool standalone = f_.tokens.empty() || f_.tokens.back().line != line_;
     while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
-    record_allow_markers(std::string_view(text_).substr(begin, pos_ - begin), line_);
+    const std::string_view comment = std::string_view(text_).substr(begin, pos_ - begin);
+    record_allow_markers(comment, line_);
+    record_annotations(comment, line_, standalone);
   }
 
   void block_comment() {
     const std::size_t begin = pos_;
+    const bool standalone = f_.tokens.empty() || f_.tokens.back().line != line_;
+    const int entry_line = line_;
     pos_ += 2;
     int line = line_;
     std::size_t seg_begin = begin;
@@ -123,6 +151,13 @@ class Lexer {
     }
     pos_ = pos_ + 1 < text_.size() ? pos_ + 2 : text_.size();
     record_allow_markers(std::string_view(text_).substr(seg_begin, pos_ - seg_begin), line);
+    // Contract annotations in block comments: single-line form only
+    // (`/* rush: noalloc */`); the multi-line attachment point would be
+    // ambiguous.
+    if (line_ == entry_line) {
+      record_annotations(std::string_view(text_).substr(begin, pos_ - begin), entry_line,
+                         standalone);
+    }
   }
 
   /// Consume a whole preprocessor directive (continuations folded),
@@ -298,6 +333,12 @@ std::string SourceFile::module() const {
 bool SourceFile::is_allowed(int line, std::string_view rule) const {
   const auto it = allowed.find(line);
   return it != allowed.end() && it->second.count(std::string(rule)) > 0;
+}
+
+const std::vector<std::string>& SourceFile::annotations_on(int line) const {
+  static const std::vector<std::string> kNone;
+  const auto it = annotations.find(line);
+  return it != annotations.end() ? it->second : kNone;
 }
 
 SourceFile lex_string(std::string rel, std::string text) {

@@ -9,6 +9,12 @@
 // Inline suppressions: a comment containing `rush-analyze: allow(rule[,
 // rule...])` (the legacy `rush-lint:` spelling is also honoured) disables
 // those rules on its own line and the line below.
+//
+// Contract annotations: a comment of the form `// rush: <annotation>`
+// (e.g. `// rush: noalloc`, `// rush: guarded_by(mu_)`) attaches the
+// annotation text to the declaration it describes — the next line when
+// the comment stands alone, its own line when it trails code. The
+// outline parser picks these up per declaration; see outline.hpp.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +65,9 @@ struct SourceFile {
   std::vector<Include> includes;
   bool has_pragma_once = false;
   std::map<int, std::set<std::string>> allowed;  // line -> suppressed rules
+  /// line -> `rush:` annotation texts attached to that line (a standalone
+  /// comment annotates the line below it; a trailing comment its own).
+  std::map<int, std::vector<std::string>> annotations;
 
   [[nodiscard]] std::string_view tok(const Token& t) const {
     return std::string_view(text).substr(t.begin, t.end - t.begin);
@@ -69,6 +78,8 @@ struct SourceFile {
   /// directly under the analysis root.
   [[nodiscard]] std::string module() const;
   [[nodiscard]] bool is_allowed(int line, std::string_view rule) const;
+  /// Annotation texts attached to `line` (empty vector if none).
+  [[nodiscard]] const std::vector<std::string>& annotations_on(int line) const;
 };
 
 /// Lex `text` as the contents of root-relative path `rel`.

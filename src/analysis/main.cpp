@@ -8,7 +8,13 @@
 //   --fix-baseline    rewrite FILE so it covers today's findings, then
 //                     exit 0 — review the diff before committing
 //   --rule NAME       run only this rule (repeatable)
+//   --ref-root DIR    index DIR for symbol references without analyzing
+//                     it (repeatable; keeps test/bench-only API from
+//                     tripping dead-symbol)
 //   --json            machine-readable report on stdout
+//   --sarif FILE      also write a SARIF 2.1.0 report to FILE
+//   --stats           print workload counters (files, tokens, cache) to
+//                     stderr after the run
 //   --list-rules      print the rule catalogue and exit
 //
 // Exit status: 0 clean (baselined findings do not count), 1 findings,
@@ -26,7 +32,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: rush_analyze [--root DIR] [--baseline FILE] [--fix-baseline]\n"
-               "                    [--rule NAME]... [--json] [--list-rules] <path>...\n");
+               "                    [--rule NAME]... [--ref-root DIR]... [--json]\n"
+               "                    [--sarif FILE] [--stats] [--list-rules] <path>...\n");
   return 2;
 }
 
@@ -43,8 +50,10 @@ int main(int argc, char** argv) {
   using namespace rush::analysis;
   AnalyzeOptions options;
   std::filesystem::path baseline_path;
+  std::filesystem::path sarif_path;
   bool fix_baseline = false;
   bool json = false;
+  bool stats = false;
   bool root_set = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -55,6 +64,16 @@ int main(int argc, char** argv) {
     if (arg == "--list-rules") return list_rules();
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--sarif") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      sarif_path = v;
+    } else if (arg == "--ref-root") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.ref_roots.emplace_back(v);
     } else if (arg == "--fix-baseline") {
       fix_baseline = true;
     } else if (arg == "--root") {
@@ -116,6 +135,16 @@ int main(int argc, char** argv) {
     const AnalyzeResult result =
         analyze(options, have_baseline ? &baseline : nullptr);
     std::fputs((json ? render_json(result) : render_human(result)).c_str(), stdout);
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path);
+      if (!out) {
+        std::fprintf(stderr, "rush_analyze: cannot write %s\n",
+                     sarif_path.string().c_str());
+        return 2;
+      }
+      out << render_sarif(result);
+    }
+    if (stats) std::fputs(render_stats(result.stats).c_str(), stderr);
     return result.findings.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rush_analyze: %s\n", e.what());

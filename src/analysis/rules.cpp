@@ -98,8 +98,38 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"unused-module-include",
        "header includes another module but never names its namespace — dead "
        "coupling in the include graph"},
+      {"const-cast",
+       "const_cast mutates through const and breaks the RUSH_AUDIT "
+       "const-correctness guarantees"},
+      {"missing-expects",
+       "(sim/, sched/) public non-const member functions taking arguments "
+       "must call RUSH_EXPECTS in their definition"},
+      {"trace-sim-time",
+       "EventTrace emit_* call sites must pass a sim-time first argument "
+       "(now(), *_s, or t/when) — wall-clock stamps break reproducibility"},
+      {"noalloc-path",
+       "functions annotated '// rush: noalloc' and their same-module callees "
+       "must not allocate: no new/make_unique/make_shared, no by-value std "
+       "container locals, no growth calls on non-member receivers"},
+      {"guarded-member",
+       "members annotated '// rush: guarded_by(G)' may only be touched after "
+       "locking G (lock parameters and *_locked helpers are the hand-off "
+       "exemptions)"},
+      {"dead-symbol",
+       "non-inline functions defined in analyzed sources but referenced "
+       "nowhere in the index (--ref-root trees included) are dead code"},
   };
   return rules;
+}
+
+void check_const_cast(const SourceFile& f, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (!is_ident(f, i, "const_cast")) continue;
+    emit(f, f.tokens[i].line, "const-cast", "const_cast",
+         "const_cast mutates through const; restructure ownership instead "
+         "(the audit harness assumes const views stay const)",
+         out);
+  }
 }
 
 void check_naked_rand(const SourceFile& f, std::vector<Finding>& out) {

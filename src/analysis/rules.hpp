@@ -66,4 +66,10 @@ void check_redundant_include(const SourceFile& f, const SourceFile* primary_head
 /// still costs rebuild time and widens the include graph.
 void check_unused_module_include(const SourceFile& f, std::vector<Finding>& out);
 
+/// const-cast: banned outright — mutating through const breaks the
+/// RUSH_AUDIT const-correctness guarantees the invariant harness relies
+/// on. (The engine's historical const_cast was removed in the heap
+/// rewrite; nothing legitimate is left.)
+void check_const_cast(const SourceFile& f, std::vector<Finding>& out);
+
 }  // namespace rush::analysis

@@ -102,7 +102,7 @@ class NetworkModel {
   /// Publish model counters (probe calls, drift rebuilds) into an
   /// observability registry. Null detaches; the probe path pays one null
   /// check + add when attached and nothing else.
-  void set_metrics(obs::MetricsRegistry* metrics);  // rush-lint: allow(missing-expects) null detaches
+  void set_metrics(obs::MetricsRegistry* metrics);  // rush-analyze: allow(missing-expects) null detaches
 
   [[nodiscard]] const FatTree& tree() const noexcept { return tree_; }
 

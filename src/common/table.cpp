@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -60,7 +59,5 @@ std::string Table::render() const {
   for (const auto& row : rows_) emit_row(row);
   return os.str();
 }
-
-void Table::print(std::ostream& os) const { os << render(); }
 
 }  // namespace rush

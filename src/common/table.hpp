@@ -4,7 +4,6 @@
 // consistent and testable.
 #pragma once
 
-#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -32,7 +31,6 @@ class Table {
   ///   --------+------+--------
   ///   Laghos  |   27 |  412.30
   [[nodiscard]] std::string render() const;
-  void print(std::ostream& os) const;
 
  private:
   std::vector<std::string> headers_;

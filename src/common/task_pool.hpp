@@ -1,6 +1,6 @@
 // Deterministic task-pool parallelism (the repo's single concurrency
-// entry point — rush_lint's raw-thread rule keeps std::thread and OpenMP
-// out of every other translation unit).
+// entry point — rush_analyze's raw-thread rule keeps std::thread and
+// OpenMP out of every other translation unit).
 //
 // A TaskPool is a fixed set of worker threads plus the calling thread.
 // Its one primitive, parallel_for_indexed(n, body), runs body(i) exactly
@@ -74,7 +74,9 @@ class TaskPool {
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
   std::condition_variable done_cv_;  // dispatchers: batch finished
+  // rush: guarded_by(mu_)
   std::deque<std::shared_ptr<Batch>> queue_;
+  // rush: guarded_by(mu_)
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

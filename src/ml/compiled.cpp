@@ -115,6 +115,7 @@ void CompiledForest::walk_group(std::span<const double> x, std::size_t base, std
   }
 }
 
+// rush: noalloc
 void CompiledForest::mean_proba_into(std::span<const double> x, std::span<double> out) const
     noexcept {
   std::fill(out.begin(), out.end(), 0.0);
@@ -133,6 +134,7 @@ void CompiledForest::mean_proba_into(std::span<const double> x, std::span<double
   for (double& p : out) p /= trees;
 }
 
+// rush: noalloc
 void CompiledForest::vote_proba_into(std::span<const double> x, std::span<double> out) const
     noexcept {
   std::fill(out.begin(), out.end(), 0.0);

@@ -129,4 +129,9 @@ void JsonWriter::raw_element(std::string_view json) {
   out_.append(json);
 }
 
+void JsonWriter::raw_field(std::string_view k, std::string_view json) {
+  key(k);
+  out_.append(json);
+}
+
 }  // namespace rush::obs

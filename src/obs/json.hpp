@@ -43,6 +43,9 @@ class JsonWriter {
   /// Appends an already-rendered JSON value (e.g. an object built with a
   /// second writer) as the next array element, with separator handling.
   void raw_element(std::string_view json);
+  /// Appends an already-rendered JSON value as the value of `key` inside
+  /// the current object.
+  void raw_field(std::string_view key, std::string_view json);
 
  private:
   void comma();

@@ -88,12 +88,13 @@ class Histogram {
   [[nodiscard]] std::vector<std::uint64_t> buckets() const;
 
  private:
+  // Reading only the bucket *count*, which is fixed at construction.
   [[nodiscard]] double bucket_width() const noexcept {
-    return (hi_ - lo_) / static_cast<double>(buckets_.size() - 2);
+    return (hi_ - lo_) / static_cast<double>(buckets_.size() - 2);  // rush-analyze: allow(guarded-member)
   }
   /// Interior bucket width in log2 space (Log2 scale only).
   [[nodiscard]] double log_width() const noexcept {
-    return (log_hi_ - log_lo_) / static_cast<double>(buckets_.size() - 2);
+    return (log_hi_ - log_lo_) / static_cast<double>(buckets_.size() - 2);  // rush-analyze: allow(guarded-member)
   }
   /// Lower edge of interior bucket i (1-based, honoring the scale).
   [[nodiscard]] double bucket_lower(std::size_t i) const noexcept;
@@ -106,10 +107,15 @@ class Histogram {
   double log_hi_ = 0.0;
   mutable std::mutex mu_;
   // buckets_[0] = underflow, buckets_[n-1] = overflow.
+  // rush: guarded_by(mu_)
   std::vector<std::uint64_t> buckets_;
+  // rush: guarded_by(mu_)
   std::uint64_t count_ = 0;
+  // rush: guarded_by(mu_)
   double sum_ = 0.0;
+  // rush: guarded_by(mu_)
   double observed_min_ = 0.0;
+  // rush: guarded_by(mu_)
   double observed_max_ = 0.0;
 };
 
@@ -138,8 +144,11 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   // std::map: snapshot output must be deterministically ordered.
+  // rush: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  // rush: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  // rush: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

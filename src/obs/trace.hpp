@@ -4,7 +4,7 @@
 // Algorithm-2 skips, allocation choices with their candidate scores,
 // model predict calls, congestion episodes — is appended as one JSON
 // object per line, stamped with the *simulated* time at which it
-// happened (rush_lint's trace-sim-time rule enforces that call sites
+// happened (rush_analyze's trace-sim-time rule enforces that call sites
 // never pass wall-clock values). tools/trace_report.py turns a trace
 // into a per-trial summary; docs/trace-format.md is the schema
 // reference.

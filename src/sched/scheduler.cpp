@@ -390,6 +390,7 @@ void Scheduler::arm_retry() {
   });
 }
 
+// rush: noalloc
 void Scheduler::schedule_pass() {
   if (in_pass_) {
     pass_requested_ = true;

@@ -130,9 +130,9 @@ class Scheduler {
 
   /// Optional hooks, fired on job start / completion. A null fn clears
   /// the hook, so every input is valid.
-  // rush-lint: allow(missing-expects)
+  // rush-analyze: allow(missing-expects)
   void on_start(JobEventFn fn) { start_hook_ = std::move(fn); }
-  // rush-lint: allow(missing-expects)
+  // rush-analyze: allow(missing-expects)
   void on_complete(JobEventFn fn) { complete_hook_ = std::move(fn); }
 
   [[nodiscard]] const Job& job(JobId id) const;

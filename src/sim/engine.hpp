@@ -46,7 +46,7 @@ class Engine {
 
   /// Cancel a pending event (or periodic task). Returns false if the event
   /// already fired or was never scheduled. Any id is acceptable input.
-  bool cancel(EventId id);  // rush-lint: allow(missing-expects) unknown ids are defined to return false
+  bool cancel(EventId id);  // rush-analyze: allow(missing-expects) unknown ids are defined to return false
 
   /// Run until the event queue is empty.
   void run();
@@ -65,7 +65,7 @@ class Engine {
   /// Publish engine counters (events executed / cancelled) into an
   /// observability registry. A null registry detaches, so every input is
   /// valid; the hot path pays one null check + add when attached.
-  // rush-lint: allow(missing-expects)
+  // rush-analyze: allow(missing-expects)
   void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Re-derives the queue bookkeeping from scratch and throws AuditError

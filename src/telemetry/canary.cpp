@@ -35,6 +35,7 @@ CanaryResult MpiCanary::run(const cluster::NodeSet& nodes) {
   return result;
 }
 
+// rush: noalloc
 void MpiCanary::run_into(const cluster::NodeSet& nodes, CanaryResult& result) {
   RUSH_EXPECTS(!nodes.empty());
   const std::size_t n = nodes.size();

@@ -61,6 +61,7 @@ std::vector<double> FeatureAssembler::assemble(sim::Time now, AggregationScope s
   return out;
 }
 
+// rush: noalloc
 void FeatureAssembler::assemble_into(sim::Time now, AggregationScope scope,
                                      const cluster::NodeSet& job_nodes,
                                      const CanaryResult& canary, WorkloadClass cls,

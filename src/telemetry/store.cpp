@@ -159,13 +159,15 @@ std::vector<Agg> CounterStore::aggregate_nodes(sim::Time t0, sim::Time t1,
   return out;
 }
 
+// rush: noalloc
 void CounterStore::aggregate_nodes_into(sim::Time t0, sim::Time t1,
                                         const cluster::NodeSet& nodes,
                                         std::span<Agg> out) const {
   RUSH_EXPECTS(out.size() == num_counters_);
-  std::vector<std::size_t> idx;
-  idx.reserve(nodes.size());
-  for (cluster::NodeId n : nodes) idx.push_back(node_index(n));
+  node_idx_scratch_.clear();
+  node_idx_scratch_.reserve(nodes.size());
+  for (cluster::NodeId n : nodes) node_idx_scratch_.push_back(node_index(n));
+  const std::vector<std::size_t>& idx = node_idx_scratch_;
 
   const auto [lo, hi] = window_bounds(t0, t1);
   const std::size_t samples = hi - lo;
@@ -200,6 +202,7 @@ std::vector<Agg> CounterStore::aggregate_all(sim::Time t0, sim::Time t1) const {
   return out;
 }
 
+// rush: noalloc
 void CounterStore::aggregate_all_into(sim::Time t0, sim::Time t1, std::span<Agg> out) const {
   RUSH_EXPECTS(out.size() == num_counters_);
   const auto [lo, hi] = window_bounds(t0, t1);

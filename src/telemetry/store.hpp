@@ -71,9 +71,10 @@ class CounterStore {
   [[nodiscard]] std::vector<Agg> aggregate_all(sim::Time t0, sim::Time t1) const;
 
   /// Variants writing into caller-owned storage of size num_counters();
-  /// values are identical to the vector forms. aggregate_all_into touches
-  /// no allocator; the nodes variant only allocates its node-index
-  /// scratch.
+  /// values are identical to the vector forms. Both are steady-state
+  /// allocation-free (the nodes variant reuses a member scratch for node
+  /// indices); the '// rush: noalloc' contract on the definitions is
+  /// enforced by rush_analyze.
   void aggregate_nodes_into(sim::Time t0, sim::Time t1, const cluster::NodeSet& nodes,
                             std::span<Agg> out) const;
   void aggregate_all_into(sim::Time t0, sim::Time t1, std::span<Agg> out) const;
@@ -119,6 +120,9 @@ class CounterStore {
   /// prefix_sum of the most recently evicted frame (zeros before any
   /// eviction): the base the front frame's prefix chains from.
   std::vector<double> evicted_prefix_;
+  /// Node-index scratch for aggregate_nodes_into: grows to the largest
+  /// query's node count once, then steady-state allocation-free.
+  mutable std::vector<std::size_t> node_idx_scratch_;
 };
 
 }  // namespace rush::telemetry

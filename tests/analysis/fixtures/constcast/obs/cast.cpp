@@ -1,0 +1,18 @@
+// const-cast fixture: const_cast is banned everywhere; const data may be
+// shared across the task pool's worker threads.
+namespace rush::obs {
+
+int sanitize(const int* p) {
+  int* w = const_cast<int*>(p);  // finding
+  return *w;
+}
+
+int bridge(const int* p) {
+  // rush-analyze: allow(const-cast) third-party API takes a non-const view
+  return *const_cast<int*>(p);
+}
+
+// Mentions in comments or strings are opaque to the lexer: const_cast.
+const char* describe() { return "const_cast"; }
+
+}  // namespace rush::obs

@@ -1,0 +1,4 @@
+#include "core/util.hpp"
+
+// main is the root of the call graph; never dead.
+int main() { return rush::core::used_everywhere(0); }

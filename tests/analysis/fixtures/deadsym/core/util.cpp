@@ -1,0 +1,18 @@
+#include "core/util.hpp"
+
+namespace rush::core {
+
+int used_everywhere(int x) { return x + header_helper(x); }
+
+int orphan(int x) { return used_everywhere(x) - 1; }
+
+int bench_only(int x) { return x * 3; }
+
+// rush-analyze: allow(dead-symbol) kept for the tutorial in docs/
+int tolerated(int x) { return x - 7; }
+
+int Base::hook(int x) { return x; }
+
+bool Base::operator==(const Base& other) const { return this == &other; }
+
+}  // namespace rush::core

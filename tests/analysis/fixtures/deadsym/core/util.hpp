@@ -1,0 +1,26 @@
+// dead-symbol fixture: non-inline functions defined in the analyzed tree
+// must be referenced somewhere in it (or in a --ref-root tree).
+#pragma once
+
+namespace rush::core {
+
+int used_everywhere(int x);
+int orphan(int x);          // defined in util.cpp, referenced nowhere -> finding
+int bench_only(int x);      // referenced only from the deadsym_ref tree
+int tolerated(int x);       // allow-markered at its definition
+
+// Inline-like definitions are header API; exempt.
+inline int header_helper(int x) { return x + 1; }
+constexpr int header_const(int x) { return x * 2; }
+template <typename T>
+T header_tmpl(T x) { return x; }
+
+struct Base {
+  virtual ~Base() = default;
+  // Virtual dispatch hides references from a token index; exempt.
+  virtual int hook(int x);
+  // Operators are called by syntax, not by name; exempt.
+  bool operator==(const Base& other) const;
+};
+
+}  // namespace rush::core

@@ -1,0 +1,12 @@
+// Reference-tree fixture (--ref-root): calls from here keep symbols in
+// the analyzed tree alive but are never rule targets themselves.
+#include "core/util.hpp"
+
+namespace rush::harness {
+
+int drive() { return rush::core::bench_only(2); }
+
+// Would be a dead-symbol finding if this tree were analyzed directly.
+int local_orphan() { return 9; }
+
+}  // namespace rush::harness

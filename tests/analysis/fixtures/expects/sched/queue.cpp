@@ -1,0 +1,24 @@
+#include "sched/queue.hpp"
+
+#define RUSH_EXPECTS(expr) ((void)(expr))
+
+namespace rush::sched {
+
+void MiniQueue::push(int job) { hint_ = job; }
+
+void MiniQueue::drop(int job) {
+  RUSH_EXPECTS(job >= 0);
+  hint_ = -job;
+}
+
+int MiniQueue::depth_after(int extra) const { return hint_ + extra; }
+
+void MiniQueue::clear() { hint_ = 0; }
+
+void MiniQueue::push_unchecked(int job) { hint_ = job; }
+
+void MiniQueue::requeue(int job) { hint_ = job; }
+
+void MiniQueue::compact(int from) { hint_ -= from; }
+
+}  // namespace rush::sched

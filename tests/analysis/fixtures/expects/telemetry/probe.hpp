@@ -1,0 +1,14 @@
+// Outside sim/ and sched/ the missing-expects contract does not apply.
+#pragma once
+
+namespace rush::telemetry {
+
+class Probe {
+ public:
+  void sample(int node) { last_ = node; }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace rush::telemetry

@@ -1,0 +1,40 @@
+#include "obs/registry.hpp"
+
+namespace rush::obs {
+
+void MiniRegistry::set(const std::string& name, int v) {
+  const std::scoped_lock lock(mu_);
+  table_[name] = v;  // quiet: locked first
+}
+
+int MiniRegistry::get(const std::string& name) const {
+  std::unique_lock lock(mu_);
+  const auto it = table_.find(name);
+  return it == table_.end() ? 0 : it->second;
+}
+
+int MiniRegistry::peek_racy(const std::string& name) const {
+  const auto it = table_.find(name);  // finding: no lock of mu_ taken
+  const std::scoped_lock lock(mu_);
+  return it == table_.end() ? 0 : it->second;
+}
+
+void MiniRegistry::bump_locked(const std::string& name) {
+  ++table_[name];  // quiet: *_locked naming contract, caller holds mu_
+}
+
+void MiniRegistry::merge_from(const MiniRegistry& other) {
+  const std::scoped_lock lock(mu_);
+  for (const auto& [k, v] : other.table_) table_[k] += v;  // other.table_: not ours
+}
+
+int MiniRegistry::size_estimate() const {
+  // rush-analyze: allow(guarded-member) monotonic size read, staleness is fine
+  return static_cast<int>(table_.size());
+}
+
+void MiniRegistry::apply(std::unique_lock<std::mutex>& lock, const std::string& name) {
+  table_[name] = static_cast<int>(lock.owns_lock());  // quiet: lock parameter
+}
+
+}  // namespace rush::obs

@@ -1,0 +1,34 @@
+// guarded-member fixture: members annotated '// rush: guarded_by(G)' may
+// only be touched after a lock of G (or from *_locked helpers, functions
+// taking a lock parameter, and constructors/destructors).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rush::obs {
+
+class MiniRegistry {
+ public:
+  MiniRegistry() { table_["boot"] = 0; }  // quiet: constructor
+
+  void set(const std::string& name, int v);
+  [[nodiscard]] int get(const std::string& name) const;
+  [[nodiscard]] int peek_racy(const std::string& name) const;  // finding in cpp
+  void bump_locked(const std::string& name);
+  void merge_from(const MiniRegistry& other);
+  [[nodiscard]] int size_estimate() const;  // allow-markered in cpp
+
+  // In-class definition touching the member without the lock -> finding.
+  [[nodiscard]] bool empty_racy() const { return table_.empty(); }
+
+ private:
+  void apply(std::unique_lock<std::mutex>& lock, const std::string& name);
+
+  mutable std::mutex mu_;
+  // rush: guarded_by(mu_)
+  std::map<std::string, int> table_;
+};
+
+}  // namespace rush::obs

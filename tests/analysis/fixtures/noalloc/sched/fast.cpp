@@ -1,0 +1,35 @@
+#include "sched/fast.hpp"
+
+namespace rush::sched {
+
+// rush: noalloc
+void FastPath::pass(int n) {
+  scratch_.clear();
+  scratch_.push_back(n);            // quiet: trailing-underscore member scratch
+  std::vector<int> locals;          // finding: per-call container construction
+  locals.push_back(n);              // finding: growing a non-member container
+  static std::vector<int> warm;     // quiet: static lives across calls
+  const std::vector<int>& view = scratch_;  // quiet: reference, no construction
+  last_ = static_cast<int>(view.size());
+  helper(n);
+}
+
+void FastPath::helper(int n) {
+  int* p = new int(n);              // finding: reachable from the noalloc root
+  delete p;
+  // rush-analyze: allow(noalloc-path) one-time lazy init, measured cold
+  std::vector<int> lazy(4);
+  last_ += static_cast<int>(lazy.size());
+  label_.assign("warm");            // quiet: trailing-underscore member scratch
+  leaf(n);
+}
+
+void FastPath::leaf(int n) { last_ += n; }
+
+void FastPath::cold_setup() {
+  scratch_.reserve(1024);
+  std::vector<int> staging(16);
+  last_ = static_cast<int>(staging.size());
+}
+
+}  // namespace rush::sched

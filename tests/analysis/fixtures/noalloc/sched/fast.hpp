@@ -1,0 +1,23 @@
+// noalloc-path fixture: functions annotated '// rush: noalloc' and their
+// same-module callees must not allocate per call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rush::sched {
+
+class FastPath {
+ public:
+  void pass(int n);
+  void helper(int n);
+  void leaf(int n);
+  void cold_setup();  // not reachable from the annotated root: may allocate
+
+ private:
+  std::vector<int> scratch_;
+  std::string label_;
+  int last_ = 0;
+};
+
+}  // namespace rush::sched

@@ -1,0 +1,31 @@
+// trace-sim-time fixture: every EventTrace emit_* call site must pass
+// the simulation time as its first argument.
+namespace rush::sim {
+
+struct FakeTrace {
+  void emit_job_start(double t, int id);
+  void emit_frame(double t, int node);
+  void emit_event(int depth, int id);
+  void emit_tick();
+  void emit_done(double t, int id);
+};
+
+struct Engine {
+  double now() const;
+};
+
+void drive(FakeTrace& tr, Engine& eng, double end_s, int queue_depth) {
+  tr.emit_job_start(eng.now(), 1);   // quiet: now() call
+  tr.emit_done(end_s, 2);            // quiet: *_s suffixed identifier
+  double t = end_s;
+  tr.emit_frame(t, 3);               // quiet: conventional single ident t
+  tr.emit_event(queue_depth, 4);     // finding: first arg is not a time
+  tr.emit_tick();                    // finding: no argument at all
+  // rush-analyze: allow(trace-sim-time) replayed record carries its own stamp
+  tr.emit_event(queue_depth, 5);
+  emit_beacon(queue_depth);          // quiet: free function, not a trace emit
+}
+
+void emit_beacon(int depth);
+
+}  // namespace rush::sim

@@ -1,0 +1,52 @@
+#include "apps/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rush::apps {
+namespace {
+
+RunRecord run_of(std::uint64_t id, const std::string& app, double duration) {
+  RunRecord r;
+  r.run_id = id;
+  r.app = app;
+  r.start_s = 0.0;
+  r.end_s = duration;
+  r.duration_s = duration;
+  r.uncontended_s = duration;
+  return r;
+}
+
+TEST(Profiler, DurationsForFiltersByAppInRecordOrder) {
+  Profiler p;
+  p.record(run_of(1, "Laghos", 410.0));
+  p.record(run_of(2, "AMG", 95.0));
+  p.record(run_of(3, "Laghos", 432.5));
+  ASSERT_EQ(p.count(), 3u);
+
+  EXPECT_EQ(p.durations_for("Laghos"), (std::vector<double>{410.0, 432.5}));
+  EXPECT_EQ(p.durations_for("AMG"), (std::vector<double>{95.0}));
+  EXPECT_TRUE(p.durations_for("Kripke").empty());
+}
+
+TEST(Profiler, AppsSeenIsFirstSeenOrderWithoutDuplicates) {
+  Profiler p;
+  p.record(run_of(1, "SWFFT", 120.0));
+  p.record(run_of(2, "Laghos", 410.0));
+  p.record(run_of(3, "SWFFT", 118.0));
+  EXPECT_EQ(p.apps_seen(), (std::vector<std::string>{"SWFFT", "Laghos"}));
+
+  p.clear();
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_TRUE(p.apps_seen().empty());
+}
+
+TEST(Profiler, SlowdownIsRelativeToUncontendedRun) {
+  RunRecord r = run_of(1, "PENNANT", 150.0);
+  r.uncontended_s = 100.0;
+  EXPECT_DOUBLE_EQ(r.slowdown(), 1.5);
+  r.uncontended_s = 0.0;  // degenerate record: no inflation claimed
+  EXPECT_DOUBLE_EQ(r.slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace rush::apps

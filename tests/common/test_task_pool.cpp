@@ -88,7 +88,7 @@ TEST(TaskPool, ConcurrentDispatchesFromSeveralThreads) {
   constexpr int kDispatchers = 3;
   constexpr std::size_t kN = 64;
   std::vector<std::atomic<int>> hits(kDispatchers * kN);
-  std::vector<std::thread> dispatchers;  // rush-lint: allow(raw-thread)
+  std::vector<std::thread> dispatchers;  // rush-analyze: allow(raw-thread)
   dispatchers.reserve(kDispatchers);
   for (int d = 0; d < kDispatchers; ++d) {
     dispatchers.emplace_back([&, d] {

@@ -189,6 +189,9 @@ TEST_F(InjectorTest, CounterCorruptionIsQuarantinedButDetectable) {
   // nothing else (90 is outside the half-open window).
   EXPECT_EQ(injector.frames_corrupted(), 1u);
   EXPECT_EQ(store_.corrupt_frames_in(0.0, 130.0), 1u);
+  EXPECT_TRUE(injector.counters_corrupted(60.0));
+  EXPECT_FALSE(injector.counters_corrupted(90.0));  // half-open window
+  EXPECT_FALSE(injector.counters_corrupted(49.9));
   // Quarantine at ingest: nothing non-finite reaches aggregation.
   const auto agg = store_.aggregate_all(0.0, 130.0);
   for (const auto& a : agg) {

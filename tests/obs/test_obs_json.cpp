@@ -1,0 +1,67 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rush::obs {
+namespace {
+
+TEST(JsonWriter, FieldsAndNumericElements) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("name", "trial");
+  w.field("ok", true);
+  w.field("runs", std::uint64_t{3});
+  w.begin_array("samples");
+  w.element(0.25);
+  w.element(1.5);
+  w.element(std::uint64_t{7});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out, R"({"name":"trial","ok":true,"runs":3,"samples":[0.25,1.5,7]})");
+}
+
+TEST(JsonWriter, RawElementAndRawFieldSpliceRenderedValues) {
+  std::string inner;
+  JsonWriter iw(inner);
+  iw.begin_object();
+  iw.field("line", 42);
+  iw.end_object();
+
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.raw_field("region", inner);
+  w.begin_array("locations");
+  w.raw_element(inner);
+  w.raw_element(inner);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out, R"({"region":{"line":42},"locations":[{"line":42},{"line":42}]})");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("msg", "a\"b\\c\n\td\x01");
+  w.end_object();
+  EXPECT_EQ(out, "{\"msg\":\"a\\\"b\\\\c\\n\\td\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderAsNull) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.begin_array("v");
+  w.element(std::numeric_limits<double>::infinity());
+  w.element(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out, R"({"v":[null,null]})");
+}
+
+}  // namespace
+}  // namespace rush::obs
